@@ -1,0 +1,177 @@
+// Shared scaffolding for the experiment harnesses in bench/. Each binary
+// regenerates one table or figure of the paper (see DESIGN.md's
+// per-experiment index) and prints the same rows/series.
+#ifndef CAPD_BENCH_BENCH_COMMON_H_
+#define CAPD_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "common/math_util.h"
+#include "index/index_builder.h"
+#include "workloads/sales.h"
+#include "workloads/tpch.h"
+
+namespace capd {
+namespace bench {
+
+// Everything a tuning experiment needs, wired together.
+struct Stack {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<SampleManager> samples;
+  std::unique_ptr<MVRegistry> mvs;
+  std::unique_ptr<WhatIfOptimizer> optimizer;
+  std::unique_ptr<SizeEstimator> sizes;
+  Workload workload;
+
+  AdvisorResult Tune(const AdvisorOptions& options, double budget_frac,
+                     const Workload& w) {
+    Advisor advisor(*db, *optimizer, sizes.get(), mvs.get(), options);
+    return advisor.Tune(w, budget_frac * static_cast<double>(db->BaseDataBytes()));
+  }
+};
+
+inline Stack MakeTpchStack(uint64_t lineitem_rows, double skew_z = 0.0,
+                           uint64_t seed = 20110829) {
+  Stack s;
+  s.db = std::make_unique<Database>();
+  tpch::Options opt;
+  opt.lineitem_rows = lineitem_rows;
+  opt.skew_z = skew_z;
+  opt.seed = seed;
+  tpch::Build(s.db.get(), opt);
+  s.workload = tpch::MakeWorkload(*s.db, opt);
+  s.samples = std::make_unique<SampleManager>(seed ^ 0xabcd);
+  s.mvs = std::make_unique<MVRegistry>(*s.db, s.samples.get());
+  s.optimizer = std::make_unique<WhatIfOptimizer>(*s.db, CostModelParams{});
+  s.optimizer->set_mv_matcher(s.mvs.get());
+  s.sizes = std::make_unique<SizeEstimator>(*s.db, s.mvs.get(), ErrorModel(),
+                                            SizeEstimationOptions{});
+  return s;
+}
+
+inline Stack MakeSalesStack(uint64_t fact_rows, uint64_t seed = 424242) {
+  Stack s;
+  s.db = std::make_unique<Database>();
+  sales::Options opt;
+  opt.fact_rows = fact_rows;
+  opt.seed = seed;
+  sales::Build(s.db.get(), opt);
+  s.workload = sales::MakeWorkload(*s.db, opt);
+  s.samples = std::make_unique<SampleManager>(seed ^ 0xabcd);
+  s.mvs = std::make_unique<MVRegistry>(*s.db, s.samples.get());
+  s.optimizer = std::make_unique<WhatIfOptimizer>(*s.db, CostModelParams{});
+  s.optimizer->set_mv_matcher(s.mvs.get());
+  s.sizes = std::make_unique<SizeEstimator>(*s.db, s.mvs.get(), ErrorModel(),
+                                            SizeEstimationOptions{});
+  return s;
+}
+
+// A spread of index shapes over a table's columns: singletons, pairs and
+// triples with a width cap — the "hundreds of indexes on various datasets"
+// of Appendix C, scaled down.
+inline std::vector<IndexDef> IndexZoo(const std::string& table,
+                                      const std::vector<std::string>& cols,
+                                      CompressionKind kind,
+                                      size_t max_indexes) {
+  std::vector<IndexDef> out;
+  auto add = [&](std::vector<std::string> keys) {
+    if (out.size() >= max_indexes) return;
+    IndexDef def;
+    def.object = table;
+    def.key_columns = std::move(keys);
+    def.compression = kind;
+    out.push_back(std::move(def));
+  };
+  for (size_t i = 0; i < cols.size(); ++i) add({cols[i]});
+  for (size_t i = 0; i < cols.size(); ++i) {
+    for (size_t j = 0; j < cols.size(); ++j) {
+      if (i != j) add({cols[i], cols[j]});
+    }
+  }
+  for (size_t i = 0; i + 2 < cols.size(); ++i) {
+    add({cols[i], cols[i + 1], cols[i + 2]});
+  }
+  return out;
+}
+
+// Ground-truth sizes cached across repeated calls (full index builds are
+// the expensive part of the error benches).
+class TruthCache {
+ public:
+  explicit TruthCache(const Database& db) : db_(&db) {}
+
+  double FineBytes(const IndexDef& def) {
+    const std::string sig = def.Signature();
+    const auto it = cache_.find(sig);
+    if (it != cache_.end()) return it->second;
+    IndexBuilder builder(db_->table(def.object));
+    const double truth = static_cast<double>(builder.Build(def).fine_bytes());
+    cache_[sig] = truth;
+    return truth;
+  }
+
+ private:
+  const Database* db_;
+  std::map<std::string, double> cache_;
+};
+
+// Relative size-estimation errors (est/true - 1) of SampleCF over a zoo of
+// indexes at sampling fraction f, across `trials` sample seeds.
+inline std::vector<double> SampleCfErrors(const Database& db,
+                                          const std::vector<IndexDef>& zoo,
+                                          double f, int trials,
+                                          uint64_t seed_base,
+                                          TruthCache* truths) {
+  std::vector<double> errors;
+  for (int t = 0; t < trials; ++t) {
+    SampleManager samples(seed_base + static_cast<uint64_t>(t) * 7919);
+    TableSampleSource source(db, &samples);
+    SampleCfEstimator estimator(db, &source);
+    for (const IndexDef& def : zoo) {
+      const double truth = truths->FineBytes(def);
+      const double est = estimator.Estimate(def, f).est_bytes;
+      errors.push_back(est / truth - 1.0);
+    }
+  }
+  return errors;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Runs a set of advisor variants across storage budgets (fractions of the
+// base data size) and prints an improvement-% table — the shared shape of
+// Figures 12-17.
+struct Variant {
+  std::string name;
+  AdvisorOptions options;
+};
+
+inline void RunImprovementTable(Stack* s, const Workload& w,
+                                const std::vector<double>& budget_fracs,
+                                const std::vector<Variant>& variants) {
+  std::printf("%-12s", "Budget");
+  for (const Variant& v : variants) std::printf(" %12s", v.name.c_str());
+  std::printf("\n");
+  for (double frac : budget_fracs) {
+    const double kb =
+        frac * static_cast<double>(s->db->BaseDataBytes()) / 1024.0;
+    std::printf("%3.0f%% (%4.0fKB)", frac * 100, kb);
+    for (const Variant& v : variants) {
+      const AdvisorResult r = s->Tune(v.options, frac, w);
+      std::printf(" %11.1f%%", r.improvement_percent());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace capd
+
+#endif  // CAPD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,90 @@
+// Micro-benchmarks of the compression codecs (google-benchmark). These are
+// the stand-in for the whitepaper [13] measurements the paper calibrates
+// the alpha/beta CPU constants from: per-tuple compression (alpha) and
+// per-tuple-per-column decompression (beta) costs, with PAGE > ROW.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "compress/codec_factory.h"
+#include "storage/encoding.h"
+
+namespace capd {
+namespace {
+
+Schema BenchSchema() {
+  return Schema({{"a", ValueType::kInt64, 8},
+                 {"b", ValueType::kString, 12},
+                 {"c", ValueType::kInt64, 8},
+                 {"d", ValueType::kDouble, 8}});
+}
+
+std::vector<Row> BenchRows(size_t n) {
+  Random rng(7);
+  const char* kWords[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64(rng.Uniform(0, 500)),
+                    Value::String(kWords[rng.Next(5)]),
+                    Value::Int64(rng.Uniform(0, 1000000)),
+                    Value::Double(static_cast<double>(rng.Uniform(0, 1 << 20)))});
+  }
+  return rows;
+}
+
+void BM_Compress(benchmark::State& state) {
+  const auto kind = static_cast<CompressionKind>(state.range(0));
+  const Schema schema = BenchSchema();
+  const std::vector<Row> rows = BenchRows(256);
+  const std::unique_ptr<Codec> codec = MakeCodec(kind, schema, rows);
+  const EncodedPage page = EncodeRows(rows, schema, 0, rows.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->CompressPage(page));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  state.SetLabel(CompressionKindName(kind));
+}
+
+void BM_Decompress(benchmark::State& state) {
+  const auto kind = static_cast<CompressionKind>(state.range(0));
+  const Schema schema = BenchSchema();
+  const std::vector<Row> rows = BenchRows(256);
+  const std::unique_ptr<Codec> codec = MakeCodec(kind, schema, rows);
+  const std::string blob =
+      codec->CompressPage(EncodeRows(rows, schema, 0, rows.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->DecompressPage(blob));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  state.SetLabel(CompressionKindName(kind));
+}
+
+void BM_CompressedSizeRatio(benchmark::State& state) {
+  // Not a timing benchmark per se: reports the compression fraction each
+  // codec achieves on the bench data as the counter "cf".
+  const auto kind = static_cast<CompressionKind>(state.range(0));
+  const Schema schema = BenchSchema();
+  const std::vector<Row> rows = BenchRows(256);
+  const std::unique_ptr<Codec> codec = MakeCodec(kind, schema, rows);
+  const std::unique_ptr<Codec> none =
+      MakeCodec(CompressionKind::kNone, schema, rows);
+  const EncodedPage page = EncodeRows(rows, schema, 0, rows.size());
+  double cf = 1.0;
+  for (auto _ : state) {
+    const std::string blob = codec->CompressPage(page);
+    const std::string base = none->CompressPage(page);
+    cf = static_cast<double>(blob.size()) / static_cast<double>(base.size());
+    benchmark::DoNotOptimize(cf);
+  }
+  state.counters["cf"] = cf;
+  state.SetLabel(CompressionKindName(kind));
+}
+
+BENCHMARK(BM_Compress)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Decompress)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CompressedSizeRatio)->DenseRange(0, 4);
+
+}  // namespace
+}  // namespace capd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Table 2: stability of the least-squares error coefficients (-c * ln f)
+// across datasets and skews: TPC-H Z=0 / Z=1 / Z=3 and TPC-DS. Paper shape:
+// the coefficients barely move between datasets, which is what justifies
+// using one parametric error model inside the graph search.
+#include "workloads/tpcds_lite.h"
+
+#include "bench/bench_common.h"
+
+namespace capd {
+namespace bench {
+namespace {
+
+struct Fit {
+  double ld_bias;
+  double ns_stddev;
+  double ld_stddev;
+};
+
+Fit FitDataset(const Database& db, const std::string& table,
+               const std::vector<std::string>& cols) {
+  TruthCache truths(db);
+  const std::vector<double> fractions = {0.01, 0.025, 0.05, 0.10};
+  std::vector<double> xs;
+  std::vector<double> ld_bias_ys, ns_sd_ys, ld_sd_ys;
+  for (double f : fractions) {
+    const auto ns = SampleCfErrors(
+        db, IndexZoo(table, cols, CompressionKind::kRow, 16), f, 2, 17, &truths);
+    const auto ld = SampleCfErrors(
+        db, IndexZoo(table, cols, CompressionKind::kPage, 16), f, 2, 17, &truths);
+    xs.push_back(f);
+    ld_bias_ys.push_back(Mean(ld));
+    ns_sd_ys.push_back(StdDev(ns));
+    ld_sd_ys.push_back(StdDev(ld));
+  }
+  Fit fit;
+  fit.ld_bias = FitLogCoefficient(xs, ld_bias_ys);
+  fit.ns_stddev = FitLogCoefficient(xs, ns_sd_ys);
+  fit.ld_stddev = FitLogCoefficient(xs, ld_sd_ys);
+  return fit;
+}
+
+void Run() {
+  PrintHeader("Table 2: least-squares fit c of error = c*ln(f), by dataset");
+  std::printf("%-12s %12s %12s %12s\n", "dataset", "LD-Bias", "NS-Stddev",
+              "LD-Stddev");
+  const std::vector<std::string> li_cols = {"l_shipdate", "l_shipmode",
+                                            "l_quantity", "l_returnflag",
+                                            "l_partkey"};
+  for (double z : {0.0, 1.0, 3.0}) {
+    Stack s = MakeTpchStack(6000, z);
+    const Fit fit = FitDataset(*s.db, "lineitem", li_cols);
+    std::printf("TPC-H Z=%-4.0f %9.4f lnf %9.4f lnf %9.4f lnf\n", z,
+                fit.ld_bias, fit.ns_stddev, fit.ld_stddev);
+  }
+  {
+    Database db;
+    tpcds::Options opt;
+    opt.store_sales_rows = 6000;
+    tpcds::Build(&db, opt);
+    const Fit fit = FitDataset(db, "store_sales",
+                               {"ss_sold_date_sk", "ss_item_sk_fk",
+                                "ss_quantity", "ss_promo"});
+    std::printf("TPC-DS       %9.4f lnf %9.4f lnf %9.4f lnf\n", fit.ld_bias,
+                fit.ns_stddev, fit.ld_stddev);
+  }
+  std::printf("\nPaper reference: LD-Bias ~ -0.013..-0.018, NS-Stddev ~ "
+              "-0.0056..-0.0064, LD-Stddev ~ -0.014..-0.018 (stable)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace capd
+
+int main() {
+  capd::bench::Run();
+  return 0;
+}

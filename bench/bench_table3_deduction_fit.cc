@@ -1,0 +1,89 @@
+// Table 3: linear (through-origin) fits of the deduction error series of
+// Figure 10, plus the ColSet deduction's near-zero error. These constants
+// parameterize the ErrorModel used by the Section 5 graph search.
+#include "bench/bench_common.h"
+
+#include "estimator/deduction.h"
+
+namespace capd {
+namespace bench {
+namespace {
+
+void Run() {
+  Stack s = MakeTpchStack(6000);
+  const std::vector<std::string> cols = {"l_shipdate", "l_shipmode",
+                                         "l_quantity", "l_returnflag",
+                                         "l_partkey", "l_discount"};
+
+  TruthCache truths(*s.db);
+  PrintHeader("Table 3: deduction error formulas (fit through origin)");
+
+  // --- ColSet: permuted-key pairs under ORD-IND compression. ---
+  {
+    std::vector<double> errors;
+    for (size_t i = 0; i + 1 < cols.size(); ++i) {
+      IndexDef ab, ba;
+      ab.object = ba.object = "lineitem";
+      ab.compression = ba.compression = CompressionKind::kRow;
+      ab.key_columns = {cols[i], cols[i + 1]};
+      ba.key_columns = {cols[i + 1], cols[i]};
+      const double sa = truths.FineBytes(ab);
+      const double sb = truths.FineBytes(ba);
+      errors.push_back(sa / sb - 1.0);
+    }
+    std::printf("%-14s bias=%8.5f  stddev=%8.5f   (paper: 0 / 0.0003)\n",
+                "ColSet(NS)", Mean(errors), StdDev(errors));
+  }
+
+  // --- ColExt: reuse the Figure 10 machinery, fit vs a. ---
+  for (CompressionKind kind : {CompressionKind::kRow, CompressionKind::kPage}) {
+    std::vector<double> xs, bias_ys, sd_ys;
+    for (size_t a : {2u, 3u, 4u}) {
+      std::vector<double> errors;
+      SampleManager samples(4242);
+      TableSampleSource source(*s.db, &samples);
+      SampleCfEstimator estimator(*s.db, &source);
+      DeductionEngine engine(*s.db, &source, 0.10);
+      for (size_t start = 0; start + a <= cols.size(); ++start) {
+        IndexDef target;
+        target.object = "lineitem";
+        target.compression = kind;
+        for (size_t k = 0; k < a; ++k) target.key_columns.push_back(cols[start + k]);
+        std::vector<KnownSize> children;
+        for (const std::string& col : target.key_columns) {
+          IndexDef child;
+          child.object = "lineitem";
+          child.key_columns = {col};
+          child.compression = kind;
+          const SampleCfResult r = estimator.Estimate(child, 0.10);
+          children.push_back(KnownSize{child, r.est_bytes,
+                                       r.est_uncompressed_bytes,
+                                       r.est_ns_bytes, r.est_tuples});
+        }
+        const double tuples = static_cast<double>(s.db->table("lineitem").num_rows());
+        const double u = estimator.UncompressedFullBytes(target, tuples);
+        const double deduced = engine.DeduceColExt(target, u, tuples, children);
+        const double truth = truths.FineBytes(target);
+        errors.push_back(deduced / truth - 1.0);
+      }
+      xs.push_back(static_cast<double>(a));
+      bias_ys.push_back(Mean(errors));
+      sd_ys.push_back(StdDev(errors));
+    }
+    std::printf("%-14s bias=%8.5f a  stddev=%8.5f a   (paper: %s)\n",
+                kind == CompressionKind::kRow ? "ColExt(NS)" : "ColExt(LD)",
+                FitLinearThroughOrigin(xs, bias_ys),
+                FitLinearThroughOrigin(xs, sd_ys),
+                kind == CompressionKind::kRow ? "0.01a / 0.002a"
+                                              : "-0.03a / 0.01a");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace capd
+
+int main() {
+  capd::bench::Run();
+  return 0;
+}

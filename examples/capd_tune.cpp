@@ -1,0 +1,134 @@
+// capd_tune: a small command-line physical design tool over the built-in
+// workloads — the closest thing in this repo to running DTA from a shell.
+//
+//   capd_tune [--workload tpch|sales] [--budget-frac 0.2] [--variant both|
+//             skyline|backtrack|none|dta] [--insert-weight 1.0] [--mv]
+//             [--partial] [--rows N] [--trace]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "advisor/advisor.h"
+#include "advisor/report.h"
+#include "workloads/sales.h"
+#include "workloads/tpch.h"
+
+using namespace capd;
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: capd_tune [--workload tpch|sales] [--budget-frac F]\n"
+               "                 [--variant both|skyline|backtrack|none|dta]\n"
+               "                 [--insert-weight W] [--mv] [--partial]\n"
+               "                 [--rows N] [--trace]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_name = "tpch";
+  std::string variant = "both";
+  double budget_frac = 0.2;
+  double insert_weight = 1.0;
+  bool enable_mv = false;
+  bool enable_partial = false;
+  bool trace = false;
+  uint64_t rows = 8000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload_name = next();
+    } else if (arg == "--budget-frac") {
+      budget_frac = std::strtod(next(), nullptr);
+    } else if (arg == "--variant") {
+      variant = next();
+    } else if (arg == "--insert-weight") {
+      insert_weight = std::strtod(next(), nullptr);
+    } else if (arg == "--rows") {
+      rows = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--mv") {
+      enable_mv = true;
+    } else if (arg == "--partial") {
+      enable_partial = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  Database db;
+  Workload workload;
+  if (workload_name == "tpch") {
+    tpch::Options opt;
+    opt.lineitem_rows = rows;
+    tpch::Build(&db, opt);
+    workload = tpch::MakeWorkload(db, opt);
+  } else if (workload_name == "sales") {
+    sales::Options opt;
+    opt.fact_rows = rows;
+    sales::Build(&db, opt);
+    workload = sales::MakeWorkload(db, opt);
+  } else {
+    Usage();
+    return 2;
+  }
+  workload = workload.WithInsertWeight(insert_weight);
+
+  AdvisorOptions options;
+  if (variant == "both") {
+    options = AdvisorOptions::DTAcBoth();
+  } else if (variant == "skyline") {
+    options = AdvisorOptions::DTAcSkyline();
+  } else if (variant == "backtrack") {
+    options = AdvisorOptions::DTAcBacktrack();
+  } else if (variant == "none") {
+    options = AdvisorOptions::DTAcNone();
+  } else if (variant == "dta") {
+    options = AdvisorOptions::DTA();
+  } else {
+    Usage();
+    return 2;
+  }
+  options.enable_mv = enable_mv;
+  options.enable_partial = enable_partial;
+  options.trace = trace;
+
+  SampleManager samples(2024);
+  MVRegistry mvs(db, &samples);
+  WhatIfOptimizer optimizer(db, CostModelParams{});
+  optimizer.set_mv_matcher(&mvs);
+  SizeEstimator sizes(db, &mvs, ErrorModel(), options.size_options);
+  Advisor advisor(db, optimizer, &sizes, &mvs, options);
+
+  const double budget = budget_frac * static_cast<double>(db.BaseDataBytes());
+  const AdvisorResult result = advisor.Tune(workload, budget);
+
+  std::printf("workload=%s variant=%s budget=%.0f%% (%.0f KB of %.0f KB)\n",
+              workload_name.c_str(), variant.c_str(), budget_frac * 100,
+              budget / 1024.0, db.BaseDataBytes() / 1024.0);
+  std::printf("candidates considered: %zu   what-if calls: %zu\n",
+              result.num_candidates, result.what_if_calls);
+  std::printf("size estimation: f=%.1f%%, cost=%.0f sample pages, "
+              "%zu sampled / %zu deduced\n",
+              result.chosen_f * 100, result.estimation_cost_pages,
+              result.num_sampled, result.num_deduced);
+  std::printf("workload cost: %.1f -> %.1f  (improvement %.1f%%)\n",
+              result.initial_cost, result.final_cost,
+              result.improvement_percent());
+  std::printf("charged bytes: %.0f KB\n\n%s", result.charged_bytes / 1024.0,
+              RenderTuningReport(result, &mvs, budget).c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces the paper's motivating Examples 1 & 2 (Section 1): decoupling
+// the decision "which indexes?" from "compress them?" yields poor designs.
+//   - Staged selection (pick indexes ignoring compression, then compress)
+//     misses configurations where only the compressed variant fits.
+//   - Blindly compressing every index can REDUCE throughput on
+//     update-intensive workloads.
+#include <cstdio>
+
+#include "advisor/advisor.h"
+#include "workloads/tpch.h"
+
+using namespace capd;
+
+int main() {
+  Database db;
+  tpch::Options opt;
+  opt.lineitem_rows = 6000;
+  tpch::Build(&db, opt);
+  const Workload workload = tpch::MakeWorkload(db, opt);
+
+  SampleManager samples(7);
+  TableSampleSource source(db, &samples);
+  WhatIfOptimizer optimizer(db, CostModelParams{});
+  SizeEstimator sizes(db, &source, ErrorModel(), SizeEstimationOptions{});
+  Advisor advisor(db, optimizer, &sizes, nullptr, AdvisorOptions::DTAcBoth());
+
+  std::printf("=== Example 1: tight budget, staged vs integrated ===\n");
+  const double tight = 0.06 * static_cast<double>(db.BaseDataBytes());
+  const Workload select_heavy = workload.WithInsertWeight(0.2);
+  const AdvisorResult integrated = advisor.Tune(select_heavy, tight);
+  const AdvisorResult staged =
+      advisor.TuneStagedBaseline(select_heavy, tight, CompressionKind::kPage);
+  std::printf("  integrated (DTAc):        %5.1f%% improvement, %zu indexes\n",
+              integrated.improvement_percent(), integrated.config.size());
+  std::printf("  staged (select->compress): %5.1f%% improvement, %zu indexes\n",
+              staged.improvement_percent(), staged.config.size());
+  std::printf("  -> integrating compression into selection finds designs the "
+              "staged approach cannot.\n\n");
+
+  std::printf("=== Example 2: compressing everything under heavy updates ===\n");
+  const Workload insert_heavy = workload.WithInsertWeight(5.0);
+  const double roomy = 0.5 * static_cast<double>(db.BaseDataBytes());
+  const AdvisorResult aware = advisor.Tune(insert_heavy, roomy);
+  const AdvisorResult blind =
+      advisor.TuneStagedBaseline(insert_heavy, roomy, CompressionKind::kPage);
+  size_t aware_compressed = 0;
+  for (const auto& idx : aware.config.indexes()) {
+    if (idx.def.compression != CompressionKind::kNone) ++aware_compressed;
+  }
+  std::printf("  compression-aware: %5.1f%% improvement (%zu/%zu compressed)\n",
+              aware.improvement_percent(), aware_compressed, aware.config.size());
+  std::printf("  compress-everything: %5.1f%% improvement (%zu/%zu compressed)\n",
+              blind.improvement_percent(), blind.config.size(),
+              blind.config.size());
+  std::printf("  -> under update-heavy load the aware tool declines to "
+              "compress; blind compression pays alpha per inserted tuple.\n");
+  return 0;
+}

@@ -1,0 +1,341 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace capd {
+
+double Advisor::ChargedBytes(const Configuration& config) const {
+  double charged = 0.0;
+  for (const PhysicalIndexEstimate& idx : config.indexes()) {
+    charged += idx.bytes;
+    if (idx.def.clustered && db_->HasTable(idx.def.object)) {
+      charged -= static_cast<double>(db_->table(idx.def.object).HeapBytes());
+    }
+  }
+  return charged;
+}
+
+double Advisor::WorkloadCost(const Workload& workload,
+                             const Configuration& config,
+                             AdvisorResult* result) const {
+  if (result != nullptr) result->what_if_calls += workload.statements.size();
+  return optimizer_->WorkloadCost(workload, config);
+}
+
+bool Advisor::CanAdd(const Configuration& config, const IndexDef& def) const {
+  if (config.Contains(def.Signature())) return false;
+  // At most one clustered index per object.
+  if (def.clustered && config.HasClusteredOn(def.object)) return false;
+  // The same structure with a different compression is a competing index:
+  // physically legal but never useful together with its sibling for our
+  // optimizer, and it bloats enumeration, so forbid duplicates.
+  for (const PhysicalIndexEstimate& idx : config.indexes()) {
+    if (idx.def.StructureSignature() == def.StructureSignature()) return false;
+  }
+  return true;
+}
+
+std::map<std::string, PhysicalIndexEstimate> Advisor::EstimateSizes(
+    const std::vector<IndexDef>& candidates, AdvisorResult* result) {
+  std::map<std::string, PhysicalIndexEstimate> sizes;
+  std::vector<IndexDef> compressed;
+  for (const IndexDef& def : candidates) {
+    if (def.compression == CompressionKind::kNone) {
+      const SampleCfResult r = sizes_->UncompressedSize(def);
+      PhysicalIndexEstimate est;
+      est.def = def;
+      est.bytes = r.est_bytes;
+      est.tuples = r.est_tuples;
+      sizes[def.Signature()] = est;
+    } else {
+      compressed.push_back(def);
+    }
+  }
+  const SizeEstimator::BatchResult batch = sizes_->EstimateAll(compressed);
+  for (const IndexDef& def : compressed) {
+    const auto it = batch.estimates.find(def.Signature());
+    CAPD_CHECK(it != batch.estimates.end()) << def.ToString();
+    PhysicalIndexEstimate est;
+    est.def = def;
+    est.bytes = it->second.est_bytes;
+    est.tuples = it->second.est_tuples;
+    sizes[def.Signature()] = est;
+  }
+  if (result != nullptr) {
+    result->estimation_cost_pages += batch.total_cost_pages;
+    result->chosen_f = batch.chosen_f;
+    result->num_sampled += batch.num_sampled;
+    result->num_deduced += batch.num_deduced;
+  }
+  return sizes;
+}
+
+std::vector<IndexDef> Advisor::SelectCandidates(
+    const Workload& workload, const std::vector<IndexDef>& candidates,
+    const std::map<std::string, PhysicalIndexEstimate>& sizes,
+    AdvisorResult* result) const {
+  std::vector<IndexDef> selected;
+  std::set<std::string> kept;
+
+  for (const Statement& stmt : workload.statements) {
+    if (stmt.type != StatementType::kSelect) continue;
+    // Cost each single-index configuration for this query.
+    struct Entry {
+      const IndexDef* def;
+      double cost;
+      double bytes;
+    };
+    std::vector<Entry> entries;
+    const Configuration empty;
+    const double base_cost = optimizer_->Cost(stmt, empty);
+    for (const IndexDef& def : candidates) {
+      const auto it = sizes.find(def.Signature());
+      CAPD_CHECK(it != sizes.end());
+      Configuration config;
+      config.Add(it->second);
+      const double cost = optimizer_->Cost(stmt, config);
+      if (result != nullptr) ++result->what_if_calls;
+      if (cost >= base_cost) continue;  // irrelevant to this query
+      // Size dimension of the skyline is the *budget charge*: a clustered
+      // index replaces the heap, so its effective footprint can be tiny (or
+      // negative when compressed) even though the structure is large.
+      entries.push_back(Entry{&def, cost, ChargedBytes(config)});
+    }
+
+    if (options_.selection == CandidateSelectionMode::kTopK) {
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) { return a.cost < b.cost; });
+      const size_t k = std::min<size_t>(options_.top_k, entries.size());
+      for (size_t i = 0; i < k; ++i) {
+        if (kept.insert(entries[i].def->Signature()).second) {
+          selected.push_back(*entries[i].def);
+        }
+      }
+    } else {
+      // Skyline of (bytes, cost): keep entries no other entry dominates
+      // (smaller AND faster). O(n^2), negligible next to what-if calls.
+      for (const Entry& e : entries) {
+        bool dominated = false;
+        for (const Entry& o : entries) {
+          if (o.def == e.def) continue;
+          const bool better_or_equal = o.cost <= e.cost && o.bytes <= e.bytes;
+          const bool strictly_better = o.cost < e.cost || o.bytes < e.bytes;
+          if (better_or_equal && strictly_better) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated && kept.insert(e.def->Signature()).second) {
+          selected.push_back(*e.def);
+        }
+      }
+    }
+  }
+  return selected;
+}
+
+Configuration Advisor::Enumerate(
+    const Workload& workload, const std::vector<IndexDef>& pool,
+    const std::map<std::string, PhysicalIndexEstimate>& sizes,
+    double budget_bytes, AdvisorResult* result) const {
+  Configuration config;
+  double current_cost = WorkloadCost(workload, config, result);
+
+  auto size_of = [&sizes](const IndexDef& def) -> const PhysicalIndexEstimate& {
+    const auto it = sizes.find(def.Signature());
+    CAPD_CHECK(it != sizes.end()) << def.ToString();
+    return it->second;
+  };
+
+  while (true) {
+    // Evaluate every addable candidate.
+    int best_fit = -1;       // best candidate that fits the budget
+    double best_fit_score = 0.0;
+    double best_fit_cost = current_cost;
+    int best_any = -1;       // best candidate ignoring the budget
+    double best_any_benefit = 0.0;
+
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const IndexDef& def = pool[i];
+      if (!CanAdd(config, def)) continue;
+      Configuration trial = config;
+      trial.Add(size_of(def));
+      const double cost = WorkloadCost(workload, trial, result);
+      const double benefit = current_cost - cost;
+      if (benefit <= 1e-9) continue;
+      const bool fits = ChargedBytes(trial) <= budget_bytes;
+      const double score =
+          options_.enumeration == EnumerationMode::kDensityGreedy
+              ? benefit / std::max(1.0, size_of(def).bytes)
+              : benefit;
+      if (fits && score > best_fit_score) {
+        best_fit_score = score;
+        best_fit = static_cast<int>(i);
+        best_fit_cost = cost;
+      }
+      if (benefit > best_any_benefit) {
+        best_any_benefit = benefit;
+        best_any = static_cast<int>(i);
+      }
+    }
+
+    if (options_.trace) {
+      std::fprintf(stderr, "[enum] step: best_fit=%s best_any=%s\n",
+                   best_fit >= 0 ? pool[best_fit].ToString().c_str() : "-",
+                   best_any >= 0 ? pool[best_any].ToString().c_str() : "-");
+    }
+
+    // Backtracking (Section 6.2): if the overall-best choice is oversized,
+    // try to recover it by swapping one or more members for compressed
+    // variants. Swaps are applied greedily until the configuration fits:
+    // prefer a swap that fits immediately with the best workload cost,
+    // otherwise the one freeing the most space (to converge).
+    if (options_.backtracking && best_any >= 0 && best_any != best_fit) {
+      Configuration oversized = config;
+      oversized.Add(size_of(pool[best_any]));
+      if (ChargedBytes(oversized) > budget_bytes) {
+        Configuration best_recovered;
+        double best_recovered_cost = std::numeric_limits<double>::infinity();
+        Configuration work = oversized;
+        for (int round = 0; round < 8; ++round) {
+          int fit_swap_member = -1, fit_swap_repl = -1;
+          double fit_swap_cost = std::numeric_limits<double>::infinity();
+          int reduce_member = -1, reduce_repl = -1;
+          double reduce_amount = 0.0;
+          const auto& members = work.indexes();
+          for (int m = 0; m < static_cast<int>(members.size()); ++m) {
+            const PhysicalIndexEstimate& member = members[m];
+            for (int p = 0; p < static_cast<int>(pool.size()); ++p) {
+              const IndexDef& repl = pool[p];
+              if (repl.StructureSignature() != member.def.StructureSignature())
+                continue;
+              if (repl.Signature() == member.def.Signature()) continue;
+              const PhysicalIndexEstimate& repl_est = size_of(repl);
+              if (repl_est.bytes >= member.bytes) continue;
+              Configuration trial = work;
+              CAPD_CHECK(trial.Remove(member.def.Signature()));
+              trial.Add(repl_est);
+              if (ChargedBytes(trial) <= budget_bytes) {
+                const double cost = WorkloadCost(workload, trial, result);
+                if (cost < fit_swap_cost) {
+                  fit_swap_cost = cost;
+                  fit_swap_member = m;
+                  fit_swap_repl = p;
+                }
+              } else if (member.bytes - repl_est.bytes > reduce_amount) {
+                reduce_amount = member.bytes - repl_est.bytes;
+                reduce_member = m;
+                reduce_repl = p;
+              }
+            }
+          }
+          if (fit_swap_member >= 0) {
+            Configuration trial = work;
+            CAPD_CHECK(trial.Remove(members[fit_swap_member].def.Signature()));
+            trial.Add(size_of(pool[fit_swap_repl]));
+            if (fit_swap_cost < best_recovered_cost) {
+              best_recovered_cost = fit_swap_cost;
+              best_recovered = trial;
+            }
+            break;
+          }
+          if (reduce_member < 0) break;  // no further swaps possible
+          const std::string gone = members[reduce_member].def.Signature();
+          work.Remove(gone);
+          work.Add(size_of(pool[reduce_repl]));
+        }
+        if (options_.trace) {
+          std::fprintf(stderr, "[enum] backtrack: recovered=%s cost=%.1f vs fit=%.1f cur=%.1f\n",
+                       best_recovered.size() > 0 ? best_recovered.ToString().c_str() : "-",
+                       best_recovered_cost, best_fit_cost, current_cost);
+        }
+        if (best_recovered.size() > 0 &&
+            best_recovered_cost < std::min(best_fit_cost, current_cost)) {
+          config = best_recovered;
+          current_cost = best_recovered_cost;
+          continue;
+        }
+      }
+    }
+
+    if (best_fit < 0) break;
+    config.Add(size_of(pool[best_fit]));
+    current_cost = best_fit_cost;
+  }
+  return config;
+}
+
+AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
+  AdvisorResult result;
+  CandidateGenerator generator(*db_, *optimizer_, mvs_, options_);
+
+  // 1. Syntactically relevant candidates + compressed variants.
+  std::vector<IndexDef> candidates = generator.GenerateForWorkload(workload);
+
+  // 2. Size estimation for every candidate (Section 5 framework).
+  std::map<std::string, PhysicalIndexEstimate> sizes =
+      EstimateSizes(candidates, &result);
+
+  // 3. Per-query candidate selection (top-k or skyline).
+  std::vector<IndexDef> selected =
+      SelectCandidates(workload, candidates, sizes, &result);
+
+  // 4. Index merging over the selected pool.
+  if (options_.enable_merging) {
+    std::vector<IndexDef> merged = generator.MergeCandidates(selected);
+    if (!merged.empty()) {
+      const std::map<std::string, PhysicalIndexEstimate> merged_sizes =
+          EstimateSizes(merged, &result);
+      for (const IndexDef& def : merged) selected.push_back(def);
+      for (const auto& [sig, est] : merged_sizes) sizes[sig] = est;
+    }
+  }
+  result.num_candidates = selected.size();
+  if (options_.trace) {
+    for (const IndexDef& def : selected) {
+      std::fprintf(stderr, "[pool] %s ~%.0fKB\n", def.ToString().c_str(),
+                   sizes.at(def.Signature()).bytes / 1024.0);
+    }
+  }
+
+  // 5. Enumeration.
+  const Configuration empty;
+  result.initial_cost = WorkloadCost(workload, empty, &result);
+  result.config = Enumerate(workload, selected, sizes, budget_bytes, &result);
+  result.final_cost = WorkloadCost(workload, result.config, &result);
+  result.charged_bytes = ChargedBytes(result.config);
+  return result;
+}
+
+AdvisorResult Advisor::TuneStagedBaseline(const Workload& workload,
+                                          double budget_bytes,
+                                          CompressionKind kind) {
+  // Stage 1: classic tuning without compression.
+  AdvisorOptions staged_options = options_;
+  staged_options.enable_compression = false;
+  Advisor stage1(*db_, *optimizer_, sizes_, mvs_, staged_options);
+  AdvisorResult result = stage1.Tune(workload, budget_bytes);
+
+  // Stage 2: compress every chosen index, re-estimating sizes.
+  std::vector<IndexDef> compressed;
+  for (const PhysicalIndexEstimate& idx : result.config.indexes()) {
+    compressed.push_back(idx.def.WithCompression(kind));
+  }
+  const std::map<std::string, PhysicalIndexEstimate> sizes =
+      EstimateSizes(compressed, &result);
+  Configuration config;
+  for (const IndexDef& def : compressed) {
+    config.Add(sizes.at(def.Signature()));
+  }
+  result.config = config;
+  result.final_cost = WorkloadCost(workload, config, &result);
+  result.charged_bytes = ChargedBytes(config);
+  return result;
+}
+
+}  // namespace capd

@@ -1,0 +1,91 @@
+// Knobs of the physical-design tool. The paper's tool variants map to
+// presets: DTA (no compression), DTAc(None), DTAc+Skyline, DTAc+Backtrack,
+// DTAc(Both), and the naive staged baseline of Example 1/2.
+#ifndef CAPD_ADVISOR_ADVISOR_OPTIONS_H_
+#define CAPD_ADVISOR_ADVISOR_OPTIONS_H_
+
+#include <vector>
+
+#include "compress/compression_kind.h"
+#include "estimator/size_estimator.h"
+
+namespace capd {
+
+enum class CandidateSelectionMode {
+  kTopK,     // best-per-query (classic DTA)
+  kSkyline,  // full size/cost skyline (Section 6.1)
+};
+
+enum class EnumerationMode {
+  kGreedy,        // pure benefit greedy
+  kDensityGreedy  // benefit/size greedy (Figure 7)
+};
+
+struct AdvisorOptions {
+  bool enable_compression = true;
+  std::vector<CompressionKind> compression_variants = {
+      CompressionKind::kRow, CompressionKind::kPage};
+
+  CandidateSelectionMode selection = CandidateSelectionMode::kSkyline;
+  int top_k = 2;
+
+  EnumerationMode enumeration = EnumerationMode::kGreedy;
+  bool backtracking = true;  // Section 6.2 oversize recovery
+
+  bool enable_clustered = true;
+  bool enable_partial = false;  // partial-index candidates
+  bool enable_mv = false;       // MV + MV-index candidates
+  bool enable_merging = true;   // index merging [8]
+
+  SizeEstimationOptions size_options;
+
+  // Prints greedy/backtracking decisions to stderr (debugging aid).
+  bool trace = false;
+
+  // --- presets ---
+  static AdvisorOptions DTA();          // original tool, no compression
+  static AdvisorOptions DTAcNone();     // variants only
+  static AdvisorOptions DTAcSkyline();  // + skyline selection
+  static AdvisorOptions DTAcBacktrack();  // + backtracking enumeration
+  static AdvisorOptions DTAcBoth();     // full implementation
+};
+
+inline AdvisorOptions AdvisorOptions::DTA() {
+  AdvisorOptions o;
+  o.enable_compression = false;
+  o.selection = CandidateSelectionMode::kTopK;
+  o.backtracking = false;
+  return o;
+}
+
+inline AdvisorOptions AdvisorOptions::DTAcNone() {
+  AdvisorOptions o;
+  o.selection = CandidateSelectionMode::kTopK;
+  o.backtracking = false;
+  return o;
+}
+
+inline AdvisorOptions AdvisorOptions::DTAcSkyline() {
+  AdvisorOptions o;
+  o.selection = CandidateSelectionMode::kSkyline;
+  o.backtracking = false;
+  return o;
+}
+
+inline AdvisorOptions AdvisorOptions::DTAcBacktrack() {
+  AdvisorOptions o;
+  o.selection = CandidateSelectionMode::kTopK;
+  o.backtracking = true;
+  return o;
+}
+
+inline AdvisorOptions AdvisorOptions::DTAcBoth() {
+  AdvisorOptions o;
+  o.selection = CandidateSelectionMode::kSkyline;
+  o.backtracking = true;
+  return o;
+}
+
+}  // namespace capd
+
+#endif  // CAPD_ADVISOR_ADVISOR_OPTIONS_H_

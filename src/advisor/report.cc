@@ -1,0 +1,172 @@
+#include "advisor/report.h"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "query/sql_parser.h"
+
+namespace capd {
+namespace {
+
+const char* CompressionClause(CompressionKind kind) {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return "NONE";
+    case CompressionKind::kRow:
+      return "ROW";
+    case CompressionKind::kPage:
+      return "PAGE";
+    case CompressionKind::kGlobalDict:
+      return "COLUMNSTORE_ARCHIVE";  // closest shipping analogue
+    case CompressionKind::kRle:
+      return "COLUMNSTORE";
+  }
+  return "NONE";
+}
+
+std::string FilterSql(const ColumnFilter& f) {
+  auto literal = [](const Value& v) {
+    switch (v.type()) {
+      case ValueType::kString:
+        return "'" + v.ToString() + "'";
+      case ValueType::kDate:
+        return "'" + FormatDate(v.AsInt64()) + "'";
+      default:
+        return v.ToString();
+    }
+  };
+  std::ostringstream os;
+  os << f.column;
+  switch (f.op) {
+    case FilterOp::kEq:
+      os << " = " << literal(f.lo);
+      break;
+    case FilterOp::kLt:
+      os << " < " << literal(f.lo);
+      break;
+    case FilterOp::kLe:
+      os << " <= " << literal(f.lo);
+      break;
+    case FilterOp::kGt:
+      os << " > " << literal(f.lo);
+      break;
+    case FilterOp::kGe:
+      os << " >= " << literal(f.lo);
+      break;
+    case FilterOp::kBetween:
+      os << " BETWEEN " << literal(f.lo) << " AND " << literal(f.hi);
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string ToCreateIndexSql(const IndexDef& def, const std::string& name) {
+  std::ostringstream os;
+  os << "CREATE " << (def.clustered ? "CLUSTERED" : "NONCLUSTERED")
+     << " INDEX " << name << " ON " << def.object << " (";
+  for (size_t i = 0; i < def.key_columns.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << def.key_columns[i];
+  }
+  os << ")";
+  if (!def.include_columns.empty()) {
+    os << " INCLUDE (";
+    for (size_t i = 0; i < def.include_columns.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << def.include_columns[i];
+    }
+    os << ")";
+  }
+  if (def.filter.has_value()) {
+    os << " WHERE " << FilterSql(*def.filter);
+  }
+  if (def.compression != CompressionKind::kNone) {
+    os << " WITH (DATA_COMPRESSION = " << CompressionClause(def.compression)
+       << ")";
+  }
+  os << ";";
+  return os.str();
+}
+
+std::string ToCreateViewSql(const MVDef& def) {
+  std::ostringstream os;
+  os << "CREATE VIEW " << def.name << " WITH SCHEMABINDING AS SELECT ";
+  for (const std::string& g : def.group_by) os << g << ", ";
+  for (const AggExpr& a : def.aggregates) {
+    os << a.func << "(" << a.column << ") AS " << MVDef::AggColumnName(a)
+       << ", ";
+  }
+  os << "COUNT_BIG(*) AS " << kMVCountColumn << " FROM " << def.fact_table;
+  for (const JoinClause& j : def.joins) {
+    os << " JOIN " << j.dim_table << " ON " << def.fact_table << "."
+       << j.fk_column << " = " << j.dim_table << "." << j.dim_key;
+  }
+  if (!def.predicates.empty()) {
+    os << " WHERE ";
+    for (size_t i = 0; i < def.predicates.size(); ++i) {
+      if (i > 0) os << " AND ";
+      os << FilterSql(def.predicates[i]);
+    }
+  }
+  os << " GROUP BY ";
+  for (size_t i = 0; i < def.group_by.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << def.group_by[i];
+  }
+  os << ";";
+  return os.str();
+}
+
+std::string RenderTuningReport(const AdvisorResult& result,
+                               const MVRegistry* mvs, double budget_bytes) {
+  std::ostringstream os;
+  os << "=== capd tuning report ===\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "workload cost:   %.1f -> %.1f  (improvement %.1f%%)\n",
+                result.initial_cost, result.final_cost,
+                result.improvement_percent());
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "storage:         %.0f KB charged of %.0f KB budget\n",
+                result.charged_bytes / 1024.0, budget_bytes / 1024.0);
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "search:          %zu candidates, %zu what-if calls\n",
+                result.num_candidates, result.what_if_calls);
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "size estimation: f=%.1f%%, %.0f sample pages, "
+                "%zu sampled / %zu deduced\n",
+                result.chosen_f * 100.0, result.estimation_cost_pages,
+                result.num_sampled, result.num_deduced);
+  os << line;
+
+  os << "\n-- recommended objects --\n";
+  int seq = 0;
+  // Emit CREATE VIEW before indexes that reference the view.
+  if (mvs != nullptr) {
+    std::set<std::string> emitted;
+    for (const PhysicalIndexEstimate& idx : result.config.indexes()) {
+      const MVDef* def = mvs->Find(idx.def.object);
+      if (def != nullptr && emitted.insert(def->name).second) {
+        os << ToCreateViewSql(*def) << "\n";
+      }
+    }
+  }
+  for (const PhysicalIndexEstimate& idx : result.config.indexes()) {
+    std::snprintf(line, sizeof(line), "-- estimated %.0f KB, %.0f entries\n",
+                  idx.bytes / 1024.0, idx.tuples);
+    os << line;
+    os << ToCreateIndexSql(idx.def, "capd_ix_" + std::to_string(++seq))
+       << "\n";
+  }
+  if (result.config.size() == 0) os << "-- (no objects recommended)\n";
+  return os.str();
+}
+
+}  // namespace capd

@@ -1,0 +1,30 @@
+// Turning an AdvisorResult into something a DBA can act on: SQL Server
+// style CREATE INDEX / CREATE VIEW DDL (with DATA_COMPRESSION clauses) and
+// a human-readable tuning report.
+#ifndef CAPD_ADVISOR_REPORT_H_
+#define CAPD_ADVISOR_REPORT_H_
+
+#include <string>
+
+#include "advisor/advisor.h"
+#include "mv/mv_registry.h"
+
+namespace capd {
+
+// CREATE INDEX statement for one recommended index. Uses SQL Server
+// syntax: [UNIQUE] CLUSTERED/NONCLUSTERED, INCLUDE, filtered-index WHERE,
+// and WITH (DATA_COMPRESSION = ROW | PAGE | ...). Indexes on MVs are
+// emitted against the view name (indexed views).
+std::string ToCreateIndexSql(const IndexDef& def, const std::string& name);
+
+// CREATE VIEW statement for a materialized-view definition.
+std::string ToCreateViewSql(const MVDef& def);
+
+// Full report: header with costs/improvement, per-index DDL with estimated
+// sizes, and estimation/bookkeeping statistics. `mvs` may be null.
+std::string RenderTuningReport(const AdvisorResult& result,
+                               const MVRegistry* mvs, double budget_bytes);
+
+}  // namespace capd
+
+#endif  // CAPD_ADVISOR_REPORT_H_

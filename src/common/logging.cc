@@ -1,0 +1,14 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace capd {
+
+void CheckFailed(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace capd

@@ -1,0 +1,57 @@
+// Minimal CHECK/LOG facilities. The library is exception-free (Google style);
+// invariant violations abort with a diagnostic.
+#ifndef CAPD_COMMON_LOGGING_H_
+#define CAPD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace capd {
+
+// Terminates the process after printing `msg` with source location.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& msg);
+
+namespace internal_logging {
+
+// Accumulates a failure message; used by the CAPD_CHECK macros.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line) {
+    stream_ << "CHECK failed: " << expr;
+  }
+
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace capd
+
+// CHECK with streamable extra context: CAPD_CHECK(x > 0) << "x=" << x;
+#define CAPD_CHECK(cond)                                               \
+  if (cond) {                                                          \
+  } else /* NOLINT */                                                  \
+    ::capd::internal_logging::CheckMessage(__FILE__, __LINE__, #cond) << " "
+
+#define CAPD_CHECK_EQ(a, b) CAPD_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CAPD_CHECK_NE(a, b) CAPD_CHECK((a) != (b))
+#define CAPD_CHECK_LT(a, b) CAPD_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CAPD_CHECK_LE(a, b) CAPD_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CAPD_CHECK_GT(a, b) CAPD_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CAPD_CHECK_GE(a, b) CAPD_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // CAPD_COMMON_LOGGING_H_

@@ -1,0 +1,81 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace capd {
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double NormalProbBetween(double mean, double stddev, double lo, double hi) {
+  CAPD_CHECK_LE(lo, hi);
+  if (stddev <= 0.0) return (mean >= lo && mean <= hi) ? 1.0 : 0.0;
+  return NormalCdf((hi - mean) / stddev) - NormalCdf((lo - mean) / stddev);
+}
+
+double ProbWithinTolerance(double bias, double variance, double e) {
+  CAPD_CHECK_GT(e, 0.0);
+  CAPD_CHECK_GE(variance, 0.0);
+  const double mean = 1.0 + bias;
+  const double stddev = std::sqrt(variance);
+  return NormalProbBetween(mean, stddev, 1.0 / (1.0 + e), 1.0 + e);
+}
+
+double VarianceOfProduct(const std::vector<double>& means,
+                         const std::vector<double>& variances) {
+  CAPD_CHECK_EQ(means.size(), variances.size());
+  double prod_full = 1.0;
+  double prod_means_sq = 1.0;
+  for (size_t i = 0; i < means.size(); ++i) {
+    prod_full *= variances[i] + means[i] * means[i];
+    prod_means_sq *= means[i] * means[i];
+  }
+  return prod_full - prod_means_sq;
+}
+
+double FitLogCoefficient(const std::vector<double>& xs,
+                         const std::vector<double>& ys) {
+  CAPD_CHECK_EQ(xs.size(), ys.size());
+  CAPD_CHECK(!xs.empty());
+  // Minimize sum (y_i - c*ln(x_i))^2  =>  c = sum(y ln x) / sum(ln x)^2.
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double lx = std::log(xs[i]);
+    num += ys[i] * lx;
+    den += lx * lx;
+  }
+  CAPD_CHECK_GT(den, 0.0);
+  return num / den;
+}
+
+double FitLinearThroughOrigin(const std::vector<double>& xs,
+                              const std::vector<double>& ys) {
+  CAPD_CHECK_EQ(xs.size(), ys.size());
+  CAPD_CHECK(!xs.empty());
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    num += ys[i] * xs[i];
+    den += xs[i] * xs[i];
+  }
+  CAPD_CHECK_GT(den, 0.0);
+  return num / den;
+}
+
+double Mean(const std::vector<double>& xs) {
+  CAPD_CHECK(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  const double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace capd

@@ -1,0 +1,45 @@
+// Statistical helpers used by the size-estimation error model (Section 5.1):
+// normal CDF, probability that a normally-distributed relative estimate lies
+// within a tolerance band, Goodman's variance of a product of independent
+// random variables, and least-squares fits used by the Appendix-C analysis.
+#ifndef CAPD_COMMON_MATH_UTIL_H_
+#define CAPD_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace capd {
+
+// Standard normal CDF.
+double NormalCdf(double z);
+
+// P(lo <= X <= hi) for X ~ N(mean, stddev^2). Degenerates correctly for
+// stddev == 0 (point mass at mean).
+double NormalProbBetween(double mean, double stddev, double lo, double hi);
+
+// The paper's accuracy criterion: X is the estimated/true size ratio with
+// E[X] = 1 + bias and Var[X] = variance; returns P(1/(1+e) <= X <= 1+e).
+double ProbWithinTolerance(double bias, double variance, double e);
+
+// Goodman (1962): for independent X_i with means m_i and variances v_i,
+// Var(prod X_i) = prod(v_i + m_i^2) - prod(m_i^2).
+// Inputs are parallel vectors of means and variances.
+double VarianceOfProduct(const std::vector<double>& means,
+                         const std::vector<double>& variances);
+
+// Least-squares fit of y = c * ln(x) through the data (no intercept), the
+// form used in Table 2 of the paper. Returns c.
+double FitLogCoefficient(const std::vector<double>& xs,
+                         const std::vector<double>& ys);
+
+// Least-squares fit of y = c * x through the origin (Table 3 form).
+double FitLinearThroughOrigin(const std::vector<double>& xs,
+                              const std::vector<double>& ys);
+
+// Sample mean and (population) standard deviation.
+double Mean(const std::vector<double>& xs);
+double StdDev(const std::vector<double>& xs);
+
+}  // namespace capd
+
+#endif  // CAPD_COMMON_MATH_UTIL_H_

@@ -1,0 +1,58 @@
+#include "common/random.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace capd {
+
+uint64_t Random::Next(uint64_t bound) {
+  CAPD_CHECK_GT(bound, 0u);
+  // Rejection-free modulo is fine for our (non-cryptographic) purposes.
+  return engine_() % bound;
+}
+
+int64_t Random::Uniform(int64_t lo, int64_t hi) {
+  CAPD_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Next(span));
+}
+
+double Random::NextDouble() {
+  // 53-bit mantissa for uniformity.
+  return static_cast<double>(engine_() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::vector<uint64_t> Random::SampleIndices(uint64_t n, uint64_t k) {
+  CAPD_CHECK_LE(k, n);
+  // Floyd's algorithm: O(k) expected, then sort for increasing order.
+  std::vector<uint64_t> picked;
+  picked.reserve(k);
+  // For small k relative to n Floyd is ideal; for large k fall back to a
+  // partial shuffle to avoid collision churn.
+  if (k * 2 >= n) {
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    for (uint64_t i = 0; i < k; ++i) {
+      const uint64_t j = i + Next(n - i);
+      std::swap(all[i], all[j]);
+    }
+    picked.assign(all.begin(), all.begin() + static_cast<ptrdiff_t>(k));
+  } else {
+    std::vector<bool> seen(n, false);
+    for (uint64_t j = n - k; j < n; ++j) {
+      const uint64_t t = Next(j + 1);
+      if (!seen[t]) {
+        seen[t] = true;
+        picked.push_back(t);
+      } else {
+        seen[j] = true;
+        picked.push_back(j);
+      }
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace capd

@@ -1,0 +1,42 @@
+// Deterministic, seedable random number generation. All randomized code in
+// the library takes a Random* so experiments are exactly reproducible.
+#ifndef CAPD_COMMON_RANDOM_H_
+#define CAPD_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace capd {
+
+// Thin wrapper over a fixed-algorithm engine (mt19937_64) so the stream of
+// values is stable across platforms and standard-library versions.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Next(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Returns a uniformly random subset of indices [0, n) of size k (k <= n),
+  // in increasing order. Used by the samplers.
+  std::vector<uint64_t> SampleIndices(uint64_t n, uint64_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace capd
+
+#endif  // CAPD_COMMON_RANDOM_H_

@@ -1,0 +1,32 @@
+// Zipfian value generator used for the skewed datasets (TPC-H Z=1, Z=3 in
+// Appendix C of the paper).
+#ifndef CAPD_COMMON_ZIPF_H_
+#define CAPD_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace capd {
+
+// Draws ranks in [0, n) with probability proportional to 1/(rank+1)^theta.
+// theta == 0 degenerates to the uniform distribution.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Random* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n (capped).
+};
+
+}  // namespace capd
+
+#endif  // CAPD_COMMON_ZIPF_H_

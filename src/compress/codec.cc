@@ -1,0 +1,83 @@
+#include "compress/codec.h"
+
+#include "common/logging.h"
+#include "compress/null_suppression.h"
+#include "compress/varint.h"
+
+namespace capd {
+
+void Codec::ValidatePage(const EncodedPage& page) const {
+  for (const auto& row : page.rows) {
+    CAPD_CHECK_EQ(row.size(), num_columns());
+    for (size_t c = 0; c < row.size(); ++c) {
+      CAPD_CHECK_EQ(row[c].size(), static_cast<size_t>(widths_[c]));
+    }
+  }
+}
+
+std::vector<uint32_t> ColumnWidths(const Schema& schema) {
+  std::vector<uint32_t> widths;
+  widths.reserve(schema.num_columns());
+  for (const Column& c : schema.columns()) widths.push_back(c.width);
+  return widths;
+}
+
+std::string NoneCodec::CompressPage(const EncodedPage& page) const {
+  ValidatePage(page);
+  std::string blob;
+  PutVarint(page.rows.size(), &blob);
+  for (const auto& row : page.rows) {
+    for (const std::string& field : row) blob.append(field);
+    blob.append(kRowOverhead, '\0');  // slot-array cost of the row format
+  }
+  return blob;
+}
+
+EncodedPage NoneCodec::DecompressPage(std::string_view blob) const {
+  size_t offset = 0;
+  const uint64_t n = GetVarint(blob, &offset);
+  EncodedPage page;
+  page.rows.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::vector<std::string> fields;
+    fields.reserve(num_columns());
+    for (uint32_t w : widths_) {
+      CAPD_CHECK_LE(offset + w, blob.size());
+      fields.emplace_back(blob.substr(offset, w));
+      offset += w;
+    }
+    offset += kRowOverhead;
+    page.rows.push_back(std::move(fields));
+  }
+  return page;
+}
+
+std::string RowCodec::CompressPage(const EncodedPage& page) const {
+  ValidatePage(page);
+  std::string blob;
+  PutVarint(page.rows.size(), &blob);
+  for (const auto& row : page.rows) {
+    for (const std::string& field : row) NsCompressField(field, &blob);
+  }
+  return blob;
+}
+
+EncodedPage RowCodec::DecompressPage(std::string_view blob) const {
+  size_t offset = 0;
+  const uint64_t n = GetVarint(blob, &offset);
+  EncodedPage page;
+  page.rows.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::vector<std::string> fields;
+    fields.reserve(num_columns());
+    for (uint32_t w : widths_) {
+      std::string field;
+      NsDecompressField(blob, &offset, w, &field);
+      fields.push_back(std::move(field));
+    }
+    page.rows.push_back(std::move(fields));
+  }
+  return page;
+}
+
+}  // namespace capd

@@ -1,0 +1,73 @@
+// Page codec interface plus the trivial (NONE) and ROW (null suppression)
+// codecs. A codec turns one EncodedPage (rows with fixed-width fields) into
+// a self-describing byte blob and back; blob size is what the index builder
+// packs against the 8 KiB page capacity.
+#ifndef CAPD_COMPRESS_CODEC_H_
+#define CAPD_COMPRESS_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compress/compression_kind.h"
+#include "storage/encoding.h"
+
+namespace capd {
+
+class Codec {
+ public:
+  explicit Codec(std::vector<uint32_t> widths) : widths_(std::move(widths)) {}
+  virtual ~Codec() = default;
+
+  Codec(const Codec&) = delete;
+  Codec& operator=(const Codec&) = delete;
+
+  virtual CompressionKind kind() const = 0;
+
+  // Serializes the page. The blob must round-trip through DecompressPage.
+  virtual std::string CompressPage(const EncodedPage& page) const = 0;
+  virtual EncodedPage DecompressPage(std::string_view blob) const = 0;
+
+  // Storage charged once per index regardless of page count (e.g. the
+  // global dictionary). Zero for page-local codecs.
+  virtual uint64_t IndexOverheadBytes() const { return 0; }
+
+  bool order_dependent() const { return IsOrderDependent(kind()); }
+  const std::vector<uint32_t>& widths() const { return widths_; }
+  size_t num_columns() const { return widths_.size(); }
+
+ protected:
+  // Aborts unless the page's rows all have num_columns() fields.
+  void ValidatePage(const EncodedPage& page) const;
+
+  std::vector<uint32_t> widths_;
+};
+
+// Widths vector for a schema (helper for codec construction).
+std::vector<uint32_t> ColumnWidths(const Schema& schema);
+
+// No compression: fields stored verbatim plus the per-row slot overhead.
+class NoneCodec : public Codec {
+ public:
+  explicit NoneCodec(std::vector<uint32_t> widths) : Codec(std::move(widths)) {}
+
+  CompressionKind kind() const override { return CompressionKind::kNone; }
+  std::string CompressPage(const EncodedPage& page) const override;
+  EncodedPage DecompressPage(std::string_view blob) const override;
+};
+
+// ROW compression: every field null-suppressed independently. Order
+// independent: the page size depends only on the multiset of values.
+class RowCodec : public Codec {
+ public:
+  explicit RowCodec(std::vector<uint32_t> widths) : Codec(std::move(widths)) {}
+
+  CompressionKind kind() const override { return CompressionKind::kRow; }
+  std::string CompressPage(const EncodedPage& page) const override;
+  EncodedPage DecompressPage(std::string_view blob) const override;
+};
+
+}  // namespace capd
+
+#endif  // CAPD_COMPRESS_CODEC_H_

@@ -1,0 +1,28 @@
+#include "compress/codec_factory.h"
+
+#include "common/logging.h"
+#include "compress/global_dict_codec.h"
+#include "compress/page_codec.h"
+#include "compress/rle_codec.h"
+
+namespace capd {
+
+std::unique_ptr<Codec> MakeCodec(CompressionKind kind, const Schema& schema,
+                                 const std::vector<Row>& rows) {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return std::make_unique<NoneCodec>(ColumnWidths(schema));
+    case CompressionKind::kRow:
+      return std::make_unique<RowCodec>(ColumnWidths(schema));
+    case CompressionKind::kPage:
+      return std::make_unique<PageCodec>(ColumnWidths(schema));
+    case CompressionKind::kGlobalDict:
+      return GlobalDictCodec::Build(rows, schema);
+    case CompressionKind::kRle:
+      return std::make_unique<RleCodec>(ColumnWidths(schema));
+  }
+  CAPD_CHECK(false) << "unknown compression kind";
+  return nullptr;
+}
+
+}  // namespace capd

@@ -1,0 +1,19 @@
+// Codec construction helper. Global dictionary needs the index's rows to
+// build its dictionaries, so the factory takes them (ignored by the
+// page-local codecs).
+#ifndef CAPD_COMPRESS_CODEC_FACTORY_H_
+#define CAPD_COMPRESS_CODEC_FACTORY_H_
+
+#include <memory>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace capd {
+
+std::unique_ptr<Codec> MakeCodec(CompressionKind kind, const Schema& schema,
+                                 const std::vector<Row>& rows);
+
+}  // namespace capd
+
+#endif  // CAPD_COMPRESS_CODEC_FACTORY_H_

@@ -1,0 +1,42 @@
+#include "compress/compression_kind.h"
+
+namespace capd {
+
+const char* CompressionKindName(CompressionKind kind) {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return "NONE";
+    case CompressionKind::kRow:
+      return "ROW(NS)";
+    case CompressionKind::kPage:
+      return "PAGE(LD)";
+    case CompressionKind::kGlobalDict:
+      return "GLOBAL_DICT";
+    case CompressionKind::kRle:
+      return "RLE";
+  }
+  return "?";
+}
+
+bool IsOrderDependent(CompressionKind kind) {
+  switch (kind) {
+    case CompressionKind::kPage:
+    case CompressionKind::kRle:
+      return true;
+    case CompressionKind::kNone:
+    case CompressionKind::kRow:
+    case CompressionKind::kGlobalDict:
+      return false;
+  }
+  return false;
+}
+
+const std::vector<CompressionKind>& AllCompressedKinds() {
+  static const std::vector<CompressionKind>* kinds =
+      new std::vector<CompressionKind>{
+          CompressionKind::kRow, CompressionKind::kPage,
+          CompressionKind::kGlobalDict, CompressionKind::kRle};
+  return *kinds;
+}
+
+}  // namespace capd

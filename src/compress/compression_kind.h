@@ -1,0 +1,32 @@
+// Compression method taxonomy. Mirrors Microsoft SQL Server's packages
+// (ROW = null suppression, PAGE = null suppression + prefix + local
+// dictionary) plus global dictionary and RLE, which the paper discusses for
+// the ORD-IND / ORD-DEP deduction analysis (Section 4.2).
+#ifndef CAPD_COMPRESS_COMPRESSION_KIND_H_
+#define CAPD_COMPRESS_COMPRESSION_KIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace capd {
+
+enum class CompressionKind : uint8_t {
+  kNone,        // plain fixed-width rows
+  kRow,         // null suppression (ROW); order-independent
+  kPage,        // NS + per-page column prefix + local dictionary; order-dependent
+  kGlobalDict,  // one dictionary per column across the index; order-independent
+  kRle,         // run-length encoding per column per page; order-dependent
+};
+
+const char* CompressionKindName(CompressionKind kind);
+
+// ORD-DEP methods (local dictionary, RLE) have page-order-sensitive sizes;
+// ORD-IND methods do not (Section 4.2). kNone is trivially order-independent.
+bool IsOrderDependent(CompressionKind kind);
+
+// All kinds that actually compress (everything but kNone).
+const std::vector<CompressionKind>& AllCompressedKinds();
+
+}  // namespace capd
+
+#endif  // CAPD_COMPRESS_COMPRESSION_KIND_H_

@@ -1,0 +1,97 @@
+#include "compress/global_dict_codec.h"
+
+#include "common/logging.h"
+#include "compress/varint.h"
+#include "storage/encoding.h"
+
+namespace capd {
+namespace {
+
+uint32_t BytesFor(uint64_t distinct) {
+  uint32_t w = 1;
+  uint64_t cap = 256;
+  while (cap < distinct) {
+    cap <<= 8;
+    ++w;
+  }
+  return w;
+}
+
+}  // namespace
+
+std::unique_ptr<GlobalDictCodec> GlobalDictCodec::Build(
+    const std::vector<Row>& rows, const Schema& schema) {
+  auto codec =
+      std::unique_ptr<GlobalDictCodec>(new GlobalDictCodec(ColumnWidths(schema)));
+  const size_t ncols = schema.num_columns();
+  codec->dicts_.resize(ncols);
+  codec->rdicts_.resize(ncols);
+  codec->ptr_widths_.resize(ncols);
+  for (const Row& row : rows) {
+    CAPD_CHECK_EQ(row.size(), ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      std::string enc = EncodeFieldToString(row[c], schema.column(c));
+      auto [it, inserted] = codec->dicts_[c].try_emplace(
+          std::move(enc), static_cast<uint32_t>(codec->rdicts_[c].size()));
+      if (inserted) codec->rdicts_[c].push_back(it->first);
+    }
+  }
+  for (size_t c = 0; c < ncols; ++c) {
+    codec->ptr_widths_[c] =
+        BytesFor(std::max<uint64_t>(1, codec->rdicts_[c].size()));
+  }
+  return codec;
+}
+
+// Blob layout: varint n_rows, then column-major pointer arrays of fixed
+// per-column width.
+std::string GlobalDictCodec::CompressPage(const EncodedPage& page) const {
+  ValidatePage(page);
+  std::string blob;
+  PutVarint(page.rows.size(), &blob);
+  for (size_t c = 0; c < num_columns(); ++c) {
+    const uint32_t pw = ptr_widths_[c];
+    for (const auto& row : page.rows) {
+      const auto it = dicts_[c].find(row[c]);
+      CAPD_CHECK(it != dicts_[c].end())
+          << "value missing from global dictionary (column " << c << ")";
+      uint32_t id = it->second;
+      for (uint32_t b = 0; b < pw; ++b) {
+        blob.push_back(static_cast<char>((id >> (8 * (pw - 1 - b))) & 0xff));
+      }
+    }
+  }
+  return blob;
+}
+
+EncodedPage GlobalDictCodec::DecompressPage(std::string_view blob) const {
+  size_t offset = 0;
+  const uint64_t n = GetVarint(blob, &offset);
+  EncodedPage page;
+  page.rows.assign(n, std::vector<std::string>(num_columns()));
+  for (size_t c = 0; c < num_columns(); ++c) {
+    const uint32_t pw = ptr_widths_[c];
+    for (uint64_t i = 0; i < n; ++i) {
+      CAPD_CHECK_LE(offset + pw, blob.size());
+      uint32_t id = 0;
+      for (uint32_t b = 0; b < pw; ++b) {
+        id = (id << 8) | static_cast<uint8_t>(blob[offset++]);
+      }
+      CAPD_CHECK_LT(id, rdicts_[c].size());
+      page.rows[i][c] = rdicts_[c][id];
+    }
+  }
+  return page;
+}
+
+uint64_t GlobalDictCodec::IndexOverheadBytes() const {
+  uint64_t bytes = 0;
+  for (size_t c = 0; c < rdicts_.size(); ++c) {
+    for (const std::string& entry : rdicts_[c]) {
+      bytes += VarintSize(entry.size()) + entry.size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace capd

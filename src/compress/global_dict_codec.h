@@ -1,0 +1,46 @@
+// Global dictionary encoding: one dictionary per column spanning the whole
+// index (DB2 style). Pages store fixed-width pointers into the dictionary;
+// the dictionary itself is charged once via IndexOverheadBytes(). Order
+// independent: page contents do not change the dictionary or pointer sizes.
+#ifndef CAPD_COMPRESS_GLOBAL_DICT_CODEC_H_
+#define CAPD_COMPRESS_GLOBAL_DICT_CODEC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+#include "storage/table.h"
+
+namespace capd {
+
+class GlobalDictCodec : public Codec {
+ public:
+  // Builds per-column dictionaries over the given rows (the rows the index
+  // will contain, already projected to the index schema).
+  static std::unique_ptr<GlobalDictCodec> Build(const std::vector<Row>& rows,
+                                                const Schema& schema);
+
+  CompressionKind kind() const override { return CompressionKind::kGlobalDict; }
+  std::string CompressPage(const EncodedPage& page) const override;
+  EncodedPage DecompressPage(std::string_view blob) const override;
+  uint64_t IndexOverheadBytes() const override;
+
+  // Pointer width (bytes) used for column c.
+  uint32_t PointerWidth(size_t c) const { return ptr_widths_[c]; }
+  size_t DictionarySize(size_t c) const { return dicts_[c].size(); }
+
+ private:
+  explicit GlobalDictCodec(std::vector<uint32_t> widths)
+      : Codec(std::move(widths)) {}
+
+  // dicts_[c]: encoded field -> id; rdicts_[c][id] -> encoded field.
+  std::vector<std::map<std::string, uint32_t>> dicts_;
+  std::vector<std::vector<std::string>> rdicts_;
+  std::vector<uint32_t> ptr_widths_;
+};
+
+}  // namespace capd
+
+#endif  // CAPD_COMPRESS_GLOBAL_DICT_CODEC_H_

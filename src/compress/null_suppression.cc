@@ -1,0 +1,36 @@
+#include "compress/null_suppression.h"
+
+#include "common/logging.h"
+
+namespace capd {
+
+size_t CountLeadingZeros(std::string_view field) {
+  size_t k = 0;
+  while (k < field.size() && field[k] == '\0') ++k;
+  return k;
+}
+
+void NsCompressField(std::string_view field, std::string* out) {
+  CAPD_CHECK_LE(field.size(), 255u);
+  const size_t k = CountLeadingZeros(field);
+  out->push_back(static_cast<char>(k));
+  out->append(field.data() + k, field.size() - k);
+}
+
+size_t NsFieldSize(std::string_view field) {
+  return 1 + field.size() - CountLeadingZeros(field);
+}
+
+void NsDecompressField(std::string_view data, size_t* offset, uint32_t width,
+                       std::string* out) {
+  CAPD_CHECK_LT(*offset, data.size());
+  const size_t k = static_cast<uint8_t>(data[(*offset)++]);
+  CAPD_CHECK_LE(k, width);
+  const size_t rest = width - k;
+  CAPD_CHECK_LE(*offset + rest, data.size());
+  out->append(k, '\0');
+  out->append(data.data() + *offset, rest);
+  *offset += rest;
+}
+
+}  // namespace capd

@@ -1,0 +1,116 @@
+#include "compress/page_codec.h"
+
+#include <map>
+#include <string_view>
+
+#include "common/logging.h"
+#include "compress/null_suppression.h"
+#include "compress/varint.h"
+
+namespace capd {
+namespace {
+
+// Longest common prefix (in bytes) of a column's values within the page.
+size_t CommonPrefixLen(const EncodedPage& page, size_t col) {
+  if (page.rows.empty()) return 0;
+  std::string_view anchor = page.rows[0][col];
+  size_t len = anchor.size();
+  for (size_t i = 1; i < page.rows.size() && len > 0; ++i) {
+    std::string_view v = page.rows[i][col];
+    size_t k = 0;
+    while (k < len && v[k] == anchor[k]) ++k;
+    len = k;
+  }
+  return len;
+}
+
+}  // namespace
+
+// Blob layout:
+//   varint n_rows
+//   for each column:
+//     varint anchor_len, anchor bytes
+//     varint dict_count, dict entries (each: NS of the post-anchor remainder)
+//     n_rows cells: varint code; code==0 -> literal NS remainder follows,
+//                   code>=1  -> dictionary entry code-1.
+std::string PageCodec::CompressPage(const EncodedPage& page) const {
+  ValidatePage(page);
+  std::string blob;
+  const size_t n = page.rows.size();
+  PutVarint(n, &blob);
+  for (size_t c = 0; c < num_columns(); ++c) {
+    const size_t anchor_len = CommonPrefixLen(page, c);
+    PutVarint(anchor_len, &blob);
+    if (n > 0) blob.append(page.rows[0][c].data(), anchor_len);
+
+    // Count post-anchor remainders; values occurring >= 2 times go to the
+    // local dictionary. std::map gives deterministic entry order.
+    std::map<std::string_view, uint32_t> counts;
+    for (size_t i = 0; i < n; ++i) {
+      std::string_view rem =
+          std::string_view(page.rows[i][c]).substr(anchor_len);
+      ++counts[rem];
+    }
+    std::vector<std::string_view> dict;
+    std::map<std::string_view, uint32_t> dict_id;
+    for (const auto& [rem, cnt] : counts) {
+      if (cnt >= 2) {
+        dict_id[rem] = static_cast<uint32_t>(dict.size());
+        dict.push_back(rem);
+      }
+    }
+    PutVarint(dict.size(), &blob);
+    for (std::string_view rem : dict) NsCompressField(rem, &blob);
+
+    for (size_t i = 0; i < n; ++i) {
+      std::string_view rem =
+          std::string_view(page.rows[i][c]).substr(anchor_len);
+      auto it = dict_id.find(rem);
+      if (it == dict_id.end()) {
+        PutVarint(0, &blob);
+        NsCompressField(rem, &blob);
+      } else {
+        PutVarint(it->second + 1, &blob);
+      }
+    }
+  }
+  return blob;
+}
+
+EncodedPage PageCodec::DecompressPage(std::string_view blob) const {
+  size_t offset = 0;
+  const uint64_t n = GetVarint(blob, &offset);
+  EncodedPage page;
+  page.rows.assign(n, std::vector<std::string>(num_columns()));
+  for (size_t c = 0; c < num_columns(); ++c) {
+    const uint64_t anchor_len = GetVarint(blob, &offset);
+    CAPD_CHECK_LE(offset + anchor_len, blob.size());
+    const std::string anchor(blob.substr(offset, anchor_len));
+    offset += anchor_len;
+    const uint32_t rem_width = widths_[c] - static_cast<uint32_t>(anchor_len);
+
+    const uint64_t dict_count = GetVarint(blob, &offset);
+    std::vector<std::string> dict;
+    dict.reserve(dict_count);
+    for (uint64_t d = 0; d < dict_count; ++d) {
+      std::string rem;
+      NsDecompressField(blob, &offset, rem_width, &rem);
+      dict.push_back(std::move(rem));
+    }
+
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t code = GetVarint(blob, &offset);
+      std::string field = anchor;
+      if (code == 0) {
+        NsDecompressField(blob, &offset, rem_width, &field);
+      } else {
+        CAPD_CHECK_LE(code, dict.size());
+        field.append(dict[code - 1]);
+      }
+      page.rows[i][c] = std::move(field);
+    }
+  }
+  return page;
+}
+
+}  // namespace capd

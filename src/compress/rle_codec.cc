@@ -1,0 +1,48 @@
+#include "compress/rle_codec.h"
+
+#include "common/logging.h"
+#include "compress/null_suppression.h"
+#include "compress/varint.h"
+
+namespace capd {
+
+// Blob layout: varint n_rows; per column: runs of (varint run_len,
+// NS(value)) until n_rows values are covered.
+std::string RleCodec::CompressPage(const EncodedPage& page) const {
+  ValidatePage(page);
+  std::string blob;
+  const size_t n = page.rows.size();
+  PutVarint(n, &blob);
+  for (size_t c = 0; c < num_columns(); ++c) {
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i + 1;
+      while (j < n && page.rows[j][c] == page.rows[i][c]) ++j;
+      PutVarint(j - i, &blob);
+      NsCompressField(page.rows[i][c], &blob);
+      i = j;
+    }
+  }
+  return blob;
+}
+
+EncodedPage RleCodec::DecompressPage(std::string_view blob) const {
+  size_t offset = 0;
+  const uint64_t n = GetVarint(blob, &offset);
+  EncodedPage page;
+  page.rows.assign(n, std::vector<std::string>(num_columns()));
+  for (size_t c = 0; c < num_columns(); ++c) {
+    uint64_t filled = 0;
+    while (filled < n) {
+      const uint64_t run = GetVarint(blob, &offset);
+      CAPD_CHECK_GT(run, 0u);
+      CAPD_CHECK_LE(filled + run, n);
+      std::string value;
+      NsDecompressField(blob, &offset, widths_[c], &value);
+      for (uint64_t k = 0; k < run; ++k) page.rows[filled++][c] = value;
+    }
+  }
+  return page;
+}
+
+}  // namespace capd

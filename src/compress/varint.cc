@@ -1,0 +1,38 @@
+#include "compress/varint.h"
+
+#include "common/logging.h"
+
+namespace capd {
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+uint64_t GetVarint(std::string_view data, size_t* offset) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    CAPD_CHECK_LT(*offset, data.size()) << "truncated varint";
+    const uint8_t byte = static_cast<uint8_t>(data[(*offset)++]);
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    CAPD_CHECK_LT(shift, 64) << "varint too long";
+  }
+  return v;
+}
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace capd

@@ -1,0 +1,21 @@
+// LEB128 varint helpers shared by the page codecs' blob formats.
+#ifndef CAPD_COMPRESS_VARINT_H_
+#define CAPD_COMPRESS_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace capd {
+
+void PutVarint(uint64_t v, std::string* out);
+
+// Reads a varint at *offset, advancing it. Aborts on truncated input.
+uint64_t GetVarint(std::string_view data, size_t* offset);
+
+// Encoded size in bytes.
+size_t VarintSize(uint64_t v);
+
+}  // namespace capd
+
+#endif  // CAPD_COMPRESS_VARINT_H_

@@ -1,0 +1,119 @@
+// The index/deduction graph of Section 5.2 (Figure 3). Index nodes carry a
+// state (NONE / DEDUCED / SAMPLED); deduction nodes connect a parent index
+// to the child indexes its size can be inferred from. The greedy search
+// assigns states narrow-to-wide; the exact exponential search (Appendix D)
+// is available for small graphs as the quality baseline of Table 4.
+#ifndef CAPD_ESTIMATOR_ESTIMATION_GRAPH_H_
+#define CAPD_ESTIMATOR_ESTIMATION_GRAPH_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "estimator/deduction.h"
+#include "estimator/error_model.h"
+#include "estimator/sample_cf.h"
+
+namespace capd {
+
+enum class NodeState { kNone, kDeduced, kSampled };
+
+enum class DeductionType { kColSet, kColExt };
+
+struct DeductionNode {
+  DeductionType type = DeductionType::kColExt;
+  size_t parent = 0;
+  std::vector<size_t> children;
+};
+
+struct IndexNode {
+  IndexDef def;
+  bool is_target = false;
+  bool is_existing = false;  // size known exactly from the catalog
+  bool deductions_generated = false;
+  NodeState state = NodeState::kNone;
+  int chosen_deduction = -1;  // index into deductions() when kDeduced
+  double cost_pages = 0.0;    // sampling cost at the current f
+  size_t num_stored_columns = 0;
+};
+
+class EstimationGraph {
+ public:
+  EstimationGraph(const Database& db, SampleSource* source,
+                  const ErrorModel& model);
+
+  // Adds targets plus their helper nodes (singletons, subsets) and all
+  // deduction candidates.
+  void AddTargets(const std::vector<IndexDef>& targets);
+
+  // Section 5.2 greedy. Assigns states; returns total sampling cost in
+  // pages. e/q per Section 5.1.
+  double Greedy(double f, double e, double q);
+
+  // Appendix D exact search (exponential; small graphs only). Returns the
+  // optimal total cost and applies the optimal assignment.
+  double Optimal(double f, double e, double q);
+
+  // Baseline: SampleCF on every target.
+  double AllSampledCost(double f);
+  // Assigns SAMPLED to every target (the "w/o deduction" plan); returns the
+  // total cost.
+  double SampleAllTargets(double f);
+
+  // True if, under the current assignment, every target's composed error
+  // satisfies P(within e) >= q — or is at least as good as plain sampling
+  // (the paper's greedy "never violates the constraint unless even All
+  // does").
+  bool AssignmentSatisfies(double e, double q, double f) const;
+
+  // Runs the assigned plan: SampleCF for SAMPLED nodes, deduction formulas
+  // for DEDUCED ones. Returns estimates keyed by IndexDef signature
+  // (targets only). Also exposes per-node error stats.
+  std::map<std::string, SampleCfResult> Execute(double f);
+
+  // Composed error of node i under the current assignment.
+  ErrorStats NodeError(size_t i, double f) const;
+
+  const std::vector<IndexNode>& nodes() const { return nodes_; }
+  const std::vector<DeductionNode>& deductions() const { return deductions_; }
+  size_t NumSampled() const;
+  size_t NumDeduced() const;  // among targets
+
+  void ResetStates();
+
+ private:
+  size_t AddNode(const IndexDef& def, bool is_target);
+  std::optional<size_t> FindNode(const std::string& signature) const;
+  void GenerateDeductionsFor(size_t node_id);
+  void PruneUnused();
+  double TotalSampledCost() const;
+  void RefreshCosts(double f);
+
+  // Recursive helper for Optimal(): decides the next required-but-undecided
+  // node in `order`; `required` marks nodes that must become known.
+  void OptimalRecurse(const std::vector<size_t>& order,
+                      std::vector<char>* required, double cost_so_far,
+                      double e, double q, double f, double* best_cost,
+                      std::vector<IndexNode>* best_assignment);
+
+  // True if making `node` depend on `child` would create a deduction cycle
+  // under the current (partial) assignment.
+  bool DependsOn(size_t child, size_t node) const;
+
+  const Database* db_;
+  SampleSource* source_;
+  ErrorModel model_;  // by value: callers often pass temporaries
+  SampleCfEstimator sampler_;
+
+  std::vector<IndexNode> nodes_;
+  std::vector<DeductionNode> deductions_;
+  std::map<std::string, size_t> by_signature_;
+  // deductions_ indexes grouped by parent node.
+  std::map<size_t, std::vector<size_t>> deductions_by_parent_;
+};
+
+}  // namespace capd
+
+#endif  // CAPD_ESTIMATOR_ESTIMATION_GRAPH_H_

@@ -1,0 +1,75 @@
+#include "estimator/size_estimator.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace capd {
+
+SizeEstimator::BatchResult SizeEstimator::EstimateAll(
+    const std::vector<IndexDef>& targets) {
+  BatchResult result;
+  if (targets.empty()) return result;
+
+  EstimationGraph graph(*db_, source_, model_);
+  graph.AddTargets(targets);
+
+  if (!options_.use_deduction) {
+    // Baseline mode: SampleCF every target at the smallest fraction whose
+    // SampleCF error meets the constraint (or the largest fraction if none
+    // does — matching the paper's "even All misses it" tolerance).
+    double best_f = options_.fractions.back();
+    for (double f : options_.fractions) {
+      graph.SampleAllTargets(f);
+      if (graph.AssignmentSatisfies(options_.e, options_.q, f)) {
+        best_f = f;
+        break;
+      }
+    }
+    result.total_cost_pages = graph.SampleAllTargets(best_f);
+    result.chosen_f = best_f;
+    result.estimates = graph.Execute(best_f);
+    result.num_sampled = graph.NumSampled();
+    result.num_deduced = 0;
+    return result;
+  }
+
+  // Try each sampling fraction; keep the valid plan with least cost
+  // (Section 5.2: "we try several different values of f and pick the f for
+  // which the greedy algorithm produces a solution with the smallest total
+  // cost"). If even SampleCF-everywhere cannot meet the constraint at any
+  // f, fall back to the largest (most accurate) fraction — the paper's
+  // "unless even All does" tolerance.
+  double best_cost = std::numeric_limits<double>::infinity();
+  double best_f = options_.fractions.back();
+  for (double f : options_.fractions) {
+    const double cost = graph.Greedy(f, options_.e, options_.q);
+    if (!graph.AssignmentSatisfies(options_.e, options_.q, f)) continue;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_f = f;
+    }
+  }
+  // Re-run the winning plan (the graph holds the last run's states).
+  result.total_cost_pages = graph.Greedy(best_f, options_.e, options_.q);
+  result.chosen_f = best_f;
+  result.estimates = graph.Execute(best_f);
+  result.num_sampled = graph.NumSampled();
+  result.num_deduced = graph.NumDeduced();
+  return result;
+}
+
+SampleCfResult SizeEstimator::UncompressedSize(const IndexDef& def) {
+  CAPD_CHECK(def.compression == CompressionKind::kNone);
+  SampleCfEstimator sampler(*db_, source_);
+  const double f = options_.fractions.front();
+  SampleCfResult r;
+  r.est_tuples = sampler.EstimateFullTuples(def, f);
+  r.est_uncompressed_bytes = sampler.UncompressedFullBytes(def, r.est_tuples);
+  r.est_bytes = r.est_uncompressed_bytes;
+  r.cf = 1.0;
+  r.cost_pages = 0.0;
+  return r;
+}
+
+}  // namespace capd

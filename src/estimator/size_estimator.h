@@ -1,0 +1,61 @@
+// Top-level entry point of the index-size-estimation framework (Section 5):
+// given a batch of compressed target indexes plus accuracy parameters
+// (e, q), choose a sampling fraction f and a per-index method (SampleCF or
+// deduction) minimizing total estimation cost, then execute the plan.
+#ifndef CAPD_ESTIMATOR_SIZE_ESTIMATOR_H_
+#define CAPD_ESTIMATOR_SIZE_ESTIMATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "estimator/estimation_graph.h"
+
+namespace capd {
+
+struct SizeEstimationOptions {
+  double e = 0.5;  // tolerable error ratio
+  double q = 0.9;  // confidence that error stays within e
+  std::vector<double> fractions = {0.01, 0.025, 0.05, 0.10};
+  // When false, every target is SampleCF'd (the "w/o deduction" baseline of
+  // Figure 11; the shared SampleManager is still used).
+  bool use_deduction = true;
+};
+
+class SizeEstimator {
+ public:
+  SizeEstimator(const Database& db, SampleSource* source, ErrorModel model,
+                SizeEstimationOptions options)
+      : db_(&db),
+        source_(source),
+        model_(std::move(model)),
+        options_(std::move(options)) {}
+
+  struct BatchResult {
+    std::map<std::string, SampleCfResult> estimates;  // by IndexDef signature
+    double chosen_f = 0.0;
+    double total_cost_pages = 0.0;
+    size_t num_sampled = 0;
+    size_t num_deduced = 0;
+  };
+
+  // Estimates sizes of all (compressed) targets. Uncompressed targets are
+  // sized deterministically and never enter the graph.
+  BatchResult EstimateAll(const std::vector<IndexDef>& targets);
+
+  // Deterministic size of an uncompressed index.
+  SampleCfResult UncompressedSize(const IndexDef& def);
+
+  const SizeEstimationOptions& options() const { return options_; }
+  const ErrorModel& model() const { return model_; }
+
+ private:
+  const Database* db_;
+  SampleSource* source_;
+  ErrorModel model_;
+  SizeEstimationOptions options_;
+};
+
+}  // namespace capd
+
+#endif  // CAPD_ESTIMATOR_SIZE_ESTIMATOR_H_

@@ -1,0 +1,70 @@
+// Materializes an index over a table's rows and measures its exact physical
+// size: rows are filtered (partial indexes), projected to the stored
+// columns, sorted by key, and packed page-by-page under the chosen codec.
+// This is the ground truth that SampleCF and the deduction methods estimate.
+#ifndef CAPD_INDEX_INDEX_BUILDER_H_
+#define CAPD_INDEX_INDEX_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/codec.h"
+#include "index/index_def.h"
+#include "storage/table.h"
+
+namespace capd {
+
+struct IndexPhysical {
+  uint64_t tuples = 0;
+  uint64_t data_pages = 0;
+  uint64_t payload_bytes = 0;   // sum of packed page blob sizes
+  uint64_t overhead_bytes = 0;  // e.g. global dictionary storage
+
+  uint64_t total_pages() const {
+    return data_pages + (overhead_bytes + kPageSize - 1) / kPageSize;
+  }
+  uint64_t bytes() const { return total_pages() * kPageSize; }
+  // Byte-granularity size: robust for tiny (sample-sized) indexes where
+  // page counts quantize away the compression fraction.
+  uint64_t fine_bytes() const { return payload_bytes + overhead_bytes; }
+};
+
+class IndexBuilder {
+ public:
+  explicit IndexBuilder(const Table& table) : table_(&table) {}
+
+  // Schema of the physically stored rows (stored columns; secondary indexes
+  // additionally carry an 8-byte row locator).
+  Schema StoredSchema(const IndexDef& def) const;
+
+  // Filter + project + sort. Exposed so callers (SampleCF, global dict
+  // construction, tests) can reuse the materialized rows.
+  std::vector<Row> MaterializeRows(const IndexDef& def) const;
+
+  // Full build: returns the measured physical size.
+  IndexPhysical Build(const IndexDef& def) const;
+
+  // Packs pre-materialized rows (must match StoredSchema(def)). Avoids
+  // re-sorting when measuring several compression variants of one index.
+  IndexPhysical Pack(const IndexDef& def, const std::vector<Row>& rows) const;
+
+  // Exact compression fraction: size(compressed variant)/size(uncompressed).
+  double TrueCompressionFraction(const IndexDef& def) const;
+
+ private:
+  const Table* table_;
+};
+
+// Greedy page packing: fills each page with the longest row prefix whose
+// compressed blob fits kPageCapacity (exponential probe + binary search).
+// Oversized single rows spill across ceil(size/capacity) pages.
+struct PackResult {
+  uint64_t pages = 0;
+  uint64_t payload_bytes = 0;  // sum of per-page blob sizes
+};
+PackResult PackPages(const std::vector<Row>& rows, const Schema& schema,
+                     const Codec& codec);
+
+}  // namespace capd
+
+#endif  // CAPD_INDEX_INDEX_BUILDER_H_

@@ -1,0 +1,67 @@
+// Logical index definitions: the objects the physical-design tool reasons
+// about. An IndexDef names a base object (table or materialized view), key
+// and included columns, clustered-ness, an optional partial-index filter,
+// and a compression method. Two defs that differ only in compression are
+// "compressed variants" of each other (Section 3 of the paper).
+#ifndef CAPD_INDEX_INDEX_DEF_H_
+#define CAPD_INDEX_INDEX_DEF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/compression_kind.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace capd {
+
+// Simple single-column range/equality filter used for partial indexes.
+enum class FilterOp : uint8_t { kEq, kLt, kLe, kGt, kGe, kBetween };
+
+struct ColumnFilter {
+  std::string column;
+  FilterOp op = FilterOp::kEq;
+  Value lo;  // operand; for kBetween the lower bound
+  Value hi;  // upper bound (kBetween only)
+
+  bool Matches(const Row& row, const Schema& schema) const;
+  std::string ToString() const;
+};
+
+struct IndexDef {
+  std::string object;  // base table or MV name
+  std::vector<std::string> key_columns;
+  std::vector<std::string> include_columns;
+  bool clustered = false;
+  CompressionKind compression = CompressionKind::kNone;
+  std::optional<ColumnFilter> filter;  // partial index predicate
+
+  // All columns physically stored: for clustered indexes every table column;
+  // otherwise keys + includes (+ an implicit 8-byte row locator, accounted
+  // by the builder).
+  std::vector<std::string> StoredColumns(const Schema& base_schema) const;
+
+  // The same index with a different compression method.
+  IndexDef WithCompression(CompressionKind kind) const;
+
+  // Identity ignoring compression: same object/keys/includes/clustered/
+  // filter. Used by ColSet deduction and candidate bookkeeping.
+  std::string StructureSignature() const;
+  // Full identity including compression.
+  std::string Signature() const;
+  // The unordered column-set identity (ColSet deduction: ORD-IND sizes
+  // depend only on the stored column multiset).
+  std::string ColumnSetSignature(const Schema& base_schema) const;
+
+  std::string ToString() const;
+
+  bool operator==(const IndexDef& other) const {
+    return Signature() == other.Signature();
+  }
+};
+
+}  // namespace capd
+
+#endif  // CAPD_INDEX_INDEX_DEF_H_

@@ -1,0 +1,169 @@
+#include "mv/mv_def.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+#include "stats/join_synopsis.h"
+
+namespace capd {
+namespace {
+
+// Joins the fact table with all dimension tables referenced by `def`
+// (full tables on both sides; used for exact materialization only).
+std::unique_ptr<Table> JoinFull(const Database& db, const MVDef& def) {
+  const Table& fact = db.table(def.fact_table);
+  std::vector<Column> cols = fact.schema().columns();
+  std::vector<const Table*> dims;
+  std::vector<size_t> dim_key_pos;
+  std::vector<size_t> fact_fk_pos;
+  for (const JoinClause& j : def.joins) {
+    const Table& dim = db.table(j.dim_table);
+    dims.push_back(&dim);
+    dim_key_pos.push_back(dim.schema().ColumnIndex(j.dim_key));
+    fact_fk_pos.push_back(fact.schema().ColumnIndex(j.fk_column));
+    for (const Column& c : dim.schema().columns()) {
+      if (c.name == j.dim_key) continue;
+      cols.push_back(c);
+    }
+  }
+  auto joined = std::make_unique<Table>(def.fact_table + "_joined",
+                                        Schema(std::move(cols)));
+  std::vector<std::map<std::string, const Row*>> maps(dims.size());
+  for (size_t d = 0; d < dims.size(); ++d) {
+    for (const Row& row : dims[d]->rows()) {
+      maps[d][row[dim_key_pos[d]].ToString()] = &row;
+    }
+  }
+  joined->Reserve(fact.num_rows());
+  for (const Row& frow : fact.rows()) {
+    Row out = frow;
+    bool ok = true;
+    for (size_t d = 0; d < dims.size() && ok; ++d) {
+      const auto it = maps[d].find(frow[fact_fk_pos[d]].ToString());
+      if (it == maps[d].end()) {
+        ok = false;
+        break;
+      }
+      const Row& drow = *it->second;
+      for (size_t c = 0; c < drow.size(); ++c) {
+        if (c == dim_key_pos[d]) continue;
+        out.push_back(drow[c]);
+      }
+    }
+    if (ok) joined->AddRow(std::move(out));
+  }
+  return joined;
+}
+
+}  // namespace
+
+std::string MVDef::AggColumnName(const AggExpr& agg) {
+  std::string fn = agg.func;
+  for (char& c : fn) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return fn + "_" + agg.column;
+}
+
+Schema MVDef::OutputSchema(const Database& db) const {
+  const Table& fact = db.table(fact_table);
+  std::vector<Column> cols;
+  auto find_col = [&](const std::string& name) -> Column {
+    if (fact.schema().HasColumn(name)) {
+      return fact.schema().column(fact.schema().ColumnIndex(name));
+    }
+    for (const JoinClause& j : joins) {
+      const Schema& s = db.table(j.dim_table).schema();
+      if (s.HasColumn(name)) return s.column(s.ColumnIndex(name));
+    }
+    CAPD_CHECK(false) << "MV " << this->name << ": unknown column " << name;
+    return Column{};
+  };
+  for (const std::string& g : group_by) cols.push_back(find_col(g));
+  for (const AggExpr& a : aggregates) {
+    cols.push_back(Column{AggColumnName(a), ValueType::kDouble, 8});
+  }
+  cols.push_back(Column{kMVCountColumn, ValueType::kInt64, 8});
+  return Schema(std::move(cols));
+}
+
+std::string MVDef::ToString() const {
+  std::ostringstream os;
+  os << "MV " << name << " = SELECT ";
+  for (const std::string& g : group_by) os << g << ",";
+  for (const AggExpr& a : aggregates) os << a.func << "(" << a.column << "),";
+  os << "COUNT(*) FROM " << fact_table;
+  for (const JoinClause& j : joins) os << " JOIN " << j.dim_table;
+  if (!predicates.empty()) {
+    os << " WHERE ";
+    for (const ColumnFilter& p : predicates) os << p.ToString() << " AND ";
+  }
+  os << " GROUP BY ...";
+  return os.str();
+}
+
+std::unique_ptr<Table> AggregateRows(const Table& input, const MVDef& def,
+                                     const Database& db) {
+  const Schema out_schema = def.OutputSchema(db);
+  std::vector<size_t> group_pos;
+  group_pos.reserve(def.group_by.size());
+  for (const std::string& g : def.group_by) {
+    group_pos.push_back(input.schema().ColumnIndex(g));
+  }
+  std::vector<size_t> agg_pos;
+  agg_pos.reserve(def.aggregates.size());
+  for (const AggExpr& a : def.aggregates) {
+    agg_pos.push_back(input.schema().ColumnIndex(a.column));
+  }
+
+  struct GroupAccum {
+    Row key;
+    std::vector<double> sums;
+    int64_t count = 0;
+  };
+  std::map<std::string, GroupAccum> groups;
+  for (const Row& row : input.rows()) {
+    bool pass = true;
+    for (const ColumnFilter& p : def.predicates) {
+      if (!p.Matches(row, input.schema())) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    std::string key;
+    for (size_t p : group_pos) {
+      key.append(row[p].ToString());
+      key.push_back('\x1f');
+    }
+    GroupAccum& acc = groups[key];
+    if (acc.count == 0) {
+      acc.key.reserve(group_pos.size());
+      for (size_t p : group_pos) acc.key.push_back(row[p]);
+      acc.sums.assign(agg_pos.size(), 0.0);
+    }
+    for (size_t a = 0; a < agg_pos.size(); ++a) {
+      acc.sums[a] += row[agg_pos[a]].NumericKey();
+    }
+    ++acc.count;
+  }
+
+  auto mv = std::make_unique<Table>(def.name, out_schema);
+  mv->Reserve(groups.size());
+  for (auto& [key, acc] : groups) {
+    Row out = std::move(acc.key);
+    for (double s : acc.sums) out.push_back(Value::Double(s));
+    out.push_back(Value::Int64(acc.count));
+    mv->AddRow(std::move(out));
+  }
+  return mv;
+}
+
+std::unique_ptr<Table> MaterializeMV(const Database& db, const MVDef& def) {
+  if (def.joins.empty()) {
+    return AggregateRows(db.table(def.fact_table), def, db);
+  }
+  const std::unique_ptr<Table> joined = JoinFull(db, def);
+  return AggregateRows(*joined, def, db);
+}
+
+}  // namespace capd

@@ -1,0 +1,37 @@
+#include "optimizer/cost_model.h"
+
+namespace capd {
+
+double CostModelParams::Alpha(CompressionKind kind) const {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return 0.0;
+    case CompressionKind::kRow:
+      return alpha_row;
+    case CompressionKind::kPage:
+      return alpha_page;
+    case CompressionKind::kGlobalDict:
+      return alpha_global_dict;
+    case CompressionKind::kRle:
+      return alpha_rle;
+  }
+  return 0.0;
+}
+
+double CostModelParams::Beta(CompressionKind kind) const {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return 0.0;
+    case CompressionKind::kRow:
+      return beta_row;
+    case CompressionKind::kPage:
+      return beta_page;
+    case CompressionKind::kGlobalDict:
+      return beta_global_dict;
+    case CompressionKind::kRle:
+      return beta_rle;
+  }
+  return 0.0;
+}
+
+}  // namespace capd

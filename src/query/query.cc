@@ -1,0 +1,115 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "catalog/database.h"
+#include "common/logging.h"
+
+namespace capd {
+namespace {
+
+// Which joined table owns column `col`? Root table wins ties (names are
+// globally unique in our generators, so ties do not occur in practice).
+std::string OwnerTable(const std::string& col, const SelectQuery& q,
+                       const Database& db) {
+  if (db.table(q.table).schema().HasColumn(col)) return q.table;
+  for (const JoinClause& j : q.joins) {
+    if (db.table(j.dim_table).schema().HasColumn(col)) return j.dim_table;
+  }
+  CAPD_CHECK(false) << "column " << col << " not found in query tables";
+  return "";
+}
+
+void AddUnique(std::vector<std::string>* v, const std::string& s) {
+  if (std::find(v->begin(), v->end(), s) == v->end()) v->push_back(s);
+}
+
+}  // namespace
+
+std::vector<std::string> SelectQuery::ColumnsUsedOn(const std::string& t,
+                                                    const Database& db) const {
+  std::vector<std::string> cols;
+  auto consider = [&](const std::string& c) {
+    if (OwnerTable(c, *this, db) == t) AddUnique(&cols, c);
+  };
+  for (const ColumnFilter& p : predicates) consider(p.column);
+  for (const std::string& c : projected) consider(c);
+  for (const AggExpr& a : aggregates) consider(a.column);
+  for (const std::string& c : group_by) consider(c);
+  for (const std::string& c : order_by) consider(c);
+  for (const JoinClause& j : joins) {
+    if (t == table) AddUnique(&cols, j.fk_column);
+    if (t == j.dim_table) AddUnique(&cols, j.dim_key);
+  }
+  return cols;
+}
+
+std::vector<ColumnFilter> SelectQuery::PredicatesOn(const std::string& t,
+                                                    const Database& db) const {
+  std::vector<ColumnFilter> out;
+  for (const ColumnFilter& p : predicates) {
+    if (OwnerTable(p.column, *this, db) == t) out.push_back(p);
+  }
+  return out;
+}
+
+std::string SelectQuery::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  for (size_t i = 0; i < projected.size(); ++i) {
+    if (i > 0) os << ",";
+    os << projected[i];
+  }
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    if (i > 0 || !projected.empty()) os << ",";
+    os << aggregates[i].func << "(" << aggregates[i].column << ")";
+  }
+  os << " FROM " << table;
+  for (const JoinClause& j : joins) {
+    os << " JOIN " << j.dim_table << " ON " << j.fk_column << "=" << j.dim_key;
+  }
+  if (!predicates.empty()) {
+    os << " WHERE ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i > 0) os << " AND ";
+      os << predicates[i].ToString();
+    }
+  }
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) os << ",";
+      os << group_by[i];
+    }
+  }
+  return os.str();
+}
+
+Statement Statement::Select(std::string id, SelectQuery q, double weight) {
+  Statement s;
+  s.type = StatementType::kSelect;
+  s.id = std::move(id);
+  s.select = std::move(q);
+  s.weight = weight;
+  return s;
+}
+
+Statement Statement::Insert(std::string id, InsertStatement ins, double weight) {
+  Statement s;
+  s.type = StatementType::kInsert;
+  s.id = std::move(id);
+  s.insert = std::move(ins);
+  s.weight = weight;
+  return s;
+}
+
+Workload Workload::WithInsertWeight(double factor) const {
+  Workload out = *this;
+  for (Statement& s : out.statements) {
+    if (s.type == StatementType::kInsert) s.weight *= factor;
+  }
+  return out;
+}
+
+}  // namespace capd

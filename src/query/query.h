@@ -1,0 +1,79 @@
+// Workload representation: a SELECT statement is a star query over a root
+// (fact) table with optional FK joins, conjunctive filters, projections and
+// grouping — the query class DTA's candidate generation reasons about. An
+// INSERT statement is a bulk load of N rows into a table (the paper's
+// "bulk load statements" whose weight makes a workload INSERT intensive).
+#ifndef CAPD_QUERY_QUERY_H_
+#define CAPD_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/index_def.h"
+
+namespace capd {
+
+// FK join from the root table to a dimension table.
+struct JoinClause {
+  std::string dim_table;
+  std::string fk_column;  // column of the root table
+  std::string dim_key;    // PK column of the dimension table
+};
+
+struct AggExpr {
+  std::string column;  // aggregated input column (SUM/AVG/MIN/MAX over it)
+  std::string func = "SUM";
+};
+
+struct SelectQuery {
+  std::string table;  // root table
+  std::vector<JoinClause> joins;
+  std::vector<ColumnFilter> predicates;  // conjunctive; any joined column
+  std::vector<std::string> projected;    // plain output columns
+  std::vector<AggExpr> aggregates;
+  std::vector<std::string> group_by;
+  std::vector<std::string> order_by;
+
+  // All columns the query touches on table `t` (given the join metadata):
+  // predicates + projections + aggregates + group/order keys + join keys.
+  std::vector<std::string> ColumnsUsedOn(const std::string& t,
+                                         const class Database& db) const;
+
+  // Predicates whose column belongs to table `t`.
+  std::vector<ColumnFilter> PredicatesOn(const std::string& t,
+                                         const class Database& db) const;
+
+  std::string ToString() const;
+};
+
+struct InsertStatement {
+  std::string table;
+  uint64_t num_rows = 0;
+};
+
+enum class StatementType { kSelect, kInsert };
+
+struct Statement {
+  StatementType type = StatementType::kSelect;
+  std::string id;      // e.g. "Q5", "BULK_LINEITEM"
+  double weight = 1.0;  // execution frequency in the workload
+  SelectQuery select;
+  InsertStatement insert;
+
+  static Statement Select(std::string id, SelectQuery q, double weight = 1.0);
+  static Statement Insert(std::string id, InsertStatement ins,
+                          double weight = 1.0);
+};
+
+struct Workload {
+  std::vector<Statement> statements;
+
+  // Multiplies the weight of every INSERT by `factor` (used to derive the
+  // SELECT-intensive vs INSERT-intensive variants of Section 7).
+  Workload WithInsertWeight(double factor) const;
+};
+
+}  // namespace capd
+
+#endif  // CAPD_QUERY_QUERY_H_

@@ -1,0 +1,33 @@
+// A small SQL-subset parser so the examples can express workloads as text.
+// Grammar (case-insensitive keywords):
+//   SELECT item {, item} FROM ident {JOIN ident ON ident = ident}
+//     [WHERE cond {AND cond}] [GROUP BY ident {, ident}]
+//     [ORDER BY ident {, ident}]
+//   item  := ident | (SUM|AVG|MIN|MAX|COUNT) '(' ident ')'
+//   cond  := ident (= | < | <= | > | >=) literal
+//          | ident BETWEEN literal AND literal
+//   INSERT INTO ident VALUES <n> ROWS
+// Literals: integers, doubles, 'strings', DATE 'YYYY-MM-DD'.
+#ifndef CAPD_QUERY_SQL_PARSER_H_
+#define CAPD_QUERY_SQL_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "catalog/database.h"
+#include "query/query.h"
+
+namespace capd {
+
+// Parses one statement. Returns std::nullopt and fills *error on failure.
+// `db` resolves column types for literals and join directions.
+std::optional<Statement> ParseSql(const std::string& sql, const Database& db,
+                                  std::string* error);
+
+// Converts 'YYYY-MM-DD' to days since 1970-01-01 (proleptic Gregorian).
+int64_t ParseDateLiteral(const std::string& ymd);
+std::string FormatDate(int64_t days);
+
+}  // namespace capd
+
+#endif  // CAPD_QUERY_SQL_PARSER_H_

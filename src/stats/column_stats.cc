@@ -1,0 +1,127 @@
+#include "stats/column_stats.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "compress/null_suppression.h"
+#include "storage/encoding.h"
+
+namespace capd {
+
+Histogram Histogram::Build(std::vector<double> keys, size_t num_buckets) {
+  Histogram h;
+  h.total_ = keys.size();
+  if (keys.empty()) return h;
+  std::sort(keys.begin(), keys.end());
+  h.min_ = keys.front();
+  h.max_ = keys.back();
+  num_buckets = std::min(num_buckets, keys.size());
+  CAPD_CHECK_GT(num_buckets, 0u);
+  h.boundaries_.push_back(keys.front());
+  size_t start = 0;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    size_t end = (keys.size() * (b + 1)) / num_buckets;
+    if (end <= start) continue;
+    h.boundaries_.push_back(keys[end - 1]);
+    h.counts_.push_back(end - start);
+    start = end;
+  }
+  return h;
+}
+
+double Histogram::SelectivityBetween(double lo, double hi) const {
+  if (total_ == 0 || lo > hi) return 0.0;
+  double covered = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const double blo = boundaries_[b];
+    const double bhi = boundaries_[b + 1];
+    if (bhi < lo || blo > hi) continue;
+    const double width = bhi - blo;
+    double frac = 1.0;
+    if (width > 0) {
+      const double olo = std::max(lo, blo);
+      const double ohi = std::min(hi, bhi);
+      frac = (ohi - olo) / width;
+    }
+    covered += frac * static_cast<double>(counts_[b]);
+  }
+  return std::min(1.0, covered / static_cast<double>(total_));
+}
+
+double Histogram::SelectivityLe(double v) const {
+  if (total_ == 0) return 0.0;
+  return SelectivityBetween(min_, v);
+}
+
+double Histogram::SelectivityGe(double v) const {
+  if (total_ == 0) return 0.0;
+  return SelectivityBetween(v, max_);
+}
+
+TableStats TableStats::Compute(const Table& table) {
+  TableStats stats;
+  stats.num_rows_ = table.num_rows();
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const Column& col = schema.column(c);
+    ColumnStats cs;
+    cs.num_rows = table.num_rows();
+    std::vector<double> keys;
+    keys.reserve(table.num_rows());
+    std::set<std::string> distinct;
+    uint64_t zero_bytes = 0;
+    for (const Row& row : table.rows()) {
+      const Value& v = row[c];
+      keys.push_back(v.NumericKey());
+      std::string enc = EncodeFieldToString(v, col);
+      zero_bytes += CountLeadingZeros(enc);
+      distinct.insert(std::move(enc));
+    }
+    cs.distinct = distinct.size();
+    if (!keys.empty()) {
+      cs.avg_leading_zero_bytes =
+          static_cast<double>(zero_bytes) / static_cast<double>(keys.size());
+    }
+    cs.histogram = Histogram::Build(keys, Histogram::kDefaultBuckets);
+    cs.min_key = cs.histogram.min();
+    cs.max_key = cs.histogram.max();
+    stats.columns_[col.name] = std::move(cs);
+  }
+  return stats;
+}
+
+const ColumnStats& TableStats::column(const std::string& name) const {
+  const auto it = columns_.find(name);
+  CAPD_CHECK(it != columns_.end()) << "no stats for column " << name;
+  return it->second;
+}
+
+uint64_t TableStats::DistinctOfColumns(
+    const Table& table, const std::vector<std::string>& cols) const {
+  std::ostringstream key;
+  for (const std::string& c : cols) key << c << ",";
+  const auto cached = combo_cache_.find(key.str());
+  if (cached != combo_cache_.end()) return cached->second;
+
+  std::vector<size_t> positions;
+  positions.reserve(cols.size());
+  for (const std::string& c : cols) {
+    positions.push_back(table.schema().ColumnIndex(c));
+  }
+  std::set<std::string> distinct;
+  for (const Row& row : table.rows()) {
+    std::string combo;
+    for (size_t p : positions) {
+      combo.append(row[p].ToString());
+      combo.push_back('\x1f');
+    }
+    distinct.insert(std::move(combo));
+  }
+  const uint64_t result = distinct.size();
+  combo_cache_[key.str()] = result;
+  return result;
+}
+
+}  // namespace capd

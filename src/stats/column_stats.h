@@ -1,0 +1,81 @@
+// Per-column statistics: distinct counts, min/max, and an equi-depth
+// histogram over the column's numeric key. These are the "statistics
+// typically maintained by the query optimizer for cardinality estimation"
+// (Section 2.2) that both the what-if optimizer and the ORD-DEP deduction
+// formulas consume.
+#ifndef CAPD_STATS_COLUMN_STATS_H_
+#define CAPD_STATS_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace capd {
+
+// Equi-depth histogram over NumericKey values.
+class Histogram {
+ public:
+  static constexpr size_t kDefaultBuckets = 64;
+
+  Histogram() = default;
+
+  // Builds from the (unsorted) values of one column.
+  static Histogram Build(std::vector<double> keys, size_t num_buckets);
+
+  // Estimated fraction of rows with key in [lo, hi] (inclusive).
+  double SelectivityBetween(double lo, double hi) const;
+  double SelectivityLe(double v) const;
+  double SelectivityGe(double v) const;
+
+  uint64_t total_rows() const { return total_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  // boundaries_[i]..boundaries_[i+1] holds counts_[i] rows.
+  std::vector<double> boundaries_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct ColumnStats {
+  uint64_t num_rows = 0;
+  uint64_t distinct = 0;
+  double min_key = 0.0;
+  double max_key = 0.0;
+  // Average number of bytes NS saves per field (leading zero bytes). Feeds
+  // analytic size reasoning and tests.
+  double avg_leading_zero_bytes = 0.0;
+  Histogram histogram;
+};
+
+class TableStats {
+ public:
+  TableStats() = default;
+
+  // Scans the table once and computes stats for every column.
+  static TableStats Compute(const Table& table);
+
+  const ColumnStats& column(const std::string& name) const;
+  uint64_t num_rows() const { return num_rows_; }
+
+  // Exact distinct count over a column combination (used as the |AB|-style
+  // cardinality input to the ORD-DEP deduction). Computed on demand and
+  // memoized; intended to be called on samples, not full tables.
+  uint64_t DistinctOfColumns(const Table& table,
+                             const std::vector<std::string>& cols) const;
+
+ private:
+  uint64_t num_rows_ = 0;
+  std::map<std::string, ColumnStats> columns_;
+  mutable std::map<std::string, uint64_t> combo_cache_;
+};
+
+}  // namespace capd
+
+#endif  // CAPD_STATS_COLUMN_STATS_H_

@@ -1,0 +1,107 @@
+#include "stats/distinct_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace capd {
+namespace {
+
+constexpr uint64_t kRareThreshold = 10;
+
+}  // namespace
+
+FrequencyStats BuildFrequencyStats(const std::vector<uint64_t>& class_counts) {
+  FrequencyStats f;
+  for (uint64_t c : class_counts) {
+    CAPD_CHECK_GT(c, 0u);
+    ++f[c];
+  }
+  return f;
+}
+
+double AdaptiveEstimate(const FrequencyStats& f, uint64_t d, uint64_t r,
+                        uint64_t n) {
+  if (d == 0 || r == 0) return 0.0;
+  CAPD_CHECK_LE(d, r);
+  if (r >= n) return static_cast<double>(d);  // sample covers everything
+
+  uint64_t d_rare = 0;     // distinct classes with sample count <= threshold
+  uint64_t n_rare = 0;     // tuples in those classes
+  uint64_t sum_kk1 = 0;    // sum k(k-1) f_k over rare classes
+  uint64_t f1 = 0;
+  for (const auto& [k, fk] : f) {
+    if (k == 1) f1 = fk;
+    if (k <= kRareThreshold) {
+      d_rare += fk;
+      n_rare += k * fk;
+      sum_kk1 += k * (k - 1) * fk;
+    }
+  }
+  const uint64_t d_abund = d - d_rare;
+
+  double estimate;
+  if (n_rare == 0) {
+    estimate = static_cast<double>(d);
+  } else if (f1 == n_rare) {
+    // Every rare class is a singleton: no coverage signal at all. The data
+    // looks key-like, and linear scale-up (which equals Multiply on the
+    // rare part) is the consistent estimate; GEE's sqrt scaling would
+    // underestimate true keys by sqrt(n/r).
+    estimate = static_cast<double>(d_abund) +
+               static_cast<double>(f1) * static_cast<double>(n) /
+                   static_cast<double>(r);
+  } else {
+    // Good-Turing sample coverage of the rare classes.
+    const double coverage =
+        1.0 - static_cast<double>(f1) / static_cast<double>(n_rare);
+    const double d_rare_hat = static_cast<double>(d_rare) / coverage;
+    // Squared coefficient of variation of rare-class frequencies.
+    double gamma2 = 0.0;
+    if (n_rare > 1) {
+      gamma2 = std::max(
+          0.0, d_rare_hat * static_cast<double>(sum_kk1) /
+                       (static_cast<double>(n_rare) *
+                        static_cast<double>(n_rare - 1)) -
+                   1.0);
+    }
+    estimate = static_cast<double>(d_abund) + d_rare_hat +
+               static_cast<double>(f1) / coverage * gamma2;
+  }
+  estimate = std::max(estimate, static_cast<double>(d));
+  estimate = std::min(estimate, static_cast<double>(n));
+  return estimate;
+}
+
+double GeeEstimate(const FrequencyStats& f, uint64_t r, uint64_t n) {
+  if (r == 0) return 0.0;
+  double est = 0.0;
+  for (const auto& [k, fk] : f) {
+    if (k == 1) {
+      est += std::sqrt(static_cast<double>(n) / static_cast<double>(r)) *
+             static_cast<double>(fk);
+    } else {
+      est += static_cast<double>(fk);
+    }
+  }
+  return std::min(est, static_cast<double>(n));
+}
+
+double MultiplyEstimate(uint64_t d, uint64_t r, uint64_t n) {
+  if (r == 0) return 0.0;
+  return std::min(static_cast<double>(d) * static_cast<double>(n) /
+                      static_cast<double>(r),
+                  static_cast<double>(n));
+}
+
+double OptimizerIndependenceEstimate(
+    const std::vector<uint64_t>& per_column_distinct, uint64_t n) {
+  double prod = 1.0;
+  for (uint64_t d : per_column_distinct) {
+    prod *= static_cast<double>(std::max<uint64_t>(d, 1));
+  }
+  return std::min(prod, static_cast<double>(n));
+}
+
+}  // namespace capd

@@ -1,0 +1,72 @@
+#include "stats/join_synopsis.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "stats/sampler.h"
+
+namespace capd {
+
+std::unique_ptr<Table> BuildJoinSynopsis(
+    const Table& fact, const std::vector<const Table*>& dims,
+    const std::vector<ForeignKey>& edges, double f, Random* rng) {
+  CAPD_CHECK_EQ(dims.size(), edges.size());
+
+  // Result schema: all fact columns, then each dimension's non-key columns.
+  std::vector<Column> cols = fact.schema().columns();
+  for (size_t d = 0; d < dims.size(); ++d) {
+    CAPD_CHECK_EQ(edges[d].fact_table, fact.name());
+    CAPD_CHECK_EQ(edges[d].dim_table, dims[d]->name());
+    for (const Column& c : dims[d]->schema().columns()) {
+      if (c.name == edges[d].key_column) continue;
+      cols.push_back(c);
+    }
+  }
+  Schema joined_schema(std::move(cols));
+  // Column-name uniqueness check (ColumnIndex aborts on duplicates only when
+  // probed; verify eagerly for a clear error).
+  for (size_t i = 0; i < joined_schema.num_columns(); ++i) {
+    for (size_t j = i + 1; j < joined_schema.num_columns(); ++j) {
+      CAPD_CHECK(joined_schema.column(i).name != joined_schema.column(j).name)
+          << "duplicate column in join synopsis: " << joined_schema.column(i).name;
+    }
+  }
+
+  // Hash the dimension tables on their keys (full tables, per [2]).
+  std::vector<std::map<std::string, const Row*>> dim_maps(dims.size());
+  for (size_t d = 0; d < dims.size(); ++d) {
+    const size_t key_pos = dims[d]->schema().ColumnIndex(edges[d].key_column);
+    for (const Row& row : dims[d]->rows()) {
+      dim_maps[d][row[key_pos].ToString()] = &row;
+    }
+  }
+
+  std::unique_ptr<Table> fact_sample =
+      CreateUniformSample(fact, f, /*min_rows=*/50, rng);
+
+  auto synopsis =
+      std::make_unique<Table>(fact.name() + "_synopsis", joined_schema);
+  synopsis->Reserve(fact_sample->num_rows());
+  for (const Row& frow : fact_sample->rows()) {
+    Row out = frow;
+    bool matched = true;
+    for (size_t d = 0; d < dims.size() && matched; ++d) {
+      const size_t fk_pos = fact.schema().ColumnIndex(edges[d].fk_column);
+      const auto it = dim_maps[d].find(frow[fk_pos].ToString());
+      if (it == dim_maps[d].end()) {
+        matched = false;  // dangling FK: drop (generators produce none)
+        break;
+      }
+      const Row& drow = *it->second;
+      const size_t key_pos = dims[d]->schema().ColumnIndex(edges[d].key_column);
+      for (size_t c = 0; c < drow.size(); ++c) {
+        if (c == key_pos) continue;
+        out.push_back(drow[c]);
+      }
+    }
+    if (matched) synopsis->AddRow(std::move(out));
+  }
+  return synopsis;
+}
+
+}  // namespace capd

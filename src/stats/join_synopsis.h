@@ -1,0 +1,36 @@
+// Join synopses (Appendix B.2, after Acharya et al. [2]): a uniform sample
+// of a fact table joined with the FULL dimension tables along key/foreign-
+// key edges, so every sampled fact row finds its matches. MV samples for
+// FK-join views are cut from this synopsis.
+#ifndef CAPD_STATS_JOIN_SYNOPSIS_H_
+#define CAPD_STATS_JOIN_SYNOPSIS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace capd {
+
+// A key/foreign-key edge: fact.fk_column references dim.key_column.
+struct ForeignKey {
+  std::string fact_table;
+  std::string fk_column;
+  std::string dim_table;
+  std::string key_column;
+};
+
+// Builds the synopsis: sample the fact table at fraction f, then join with
+// each dimension table in `edges` (all must emanate from `fact`). Column
+// names must be globally unique across the joined tables (our generators
+// use per-table prefixes, TPC-H style). The dimension join key column is
+// not duplicated — the fact side's FK column carries the value.
+std::unique_ptr<Table> BuildJoinSynopsis(
+    const Table& fact, const std::vector<const Table*>& dims,
+    const std::vector<ForeignKey>& edges, double f, Random* rng);
+
+}  // namespace capd
+
+#endif  // CAPD_STATS_JOIN_SYNOPSIS_H_

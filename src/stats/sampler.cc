@@ -1,0 +1,61 @@
+#include "stats/sampler.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace capd {
+
+std::unique_ptr<Table> CreateUniformSample(const Table& table, double f,
+                                           uint64_t min_rows, Random* rng) {
+  CAPD_CHECK_GT(f, 0.0);
+  CAPD_CHECK_LE(f, 1.0);
+  const uint64_t n = table.num_rows();
+  uint64_t k = static_cast<uint64_t>(static_cast<double>(n) * f + 0.5);
+  k = std::min(n, std::max(k, std::min(n, min_rows)));
+  auto sample = std::make_unique<Table>(table.name() + "_sample", table.schema());
+  sample->Reserve(k);
+  for (uint64_t idx : rng->SampleIndices(n, k)) {
+    sample->AddRow(table.rows()[idx]);
+  }
+  return sample;
+}
+
+std::unique_ptr<Table> CreateFilteredSample(const Table& sample,
+                                            const ColumnFilter& filter) {
+  auto filtered = std::make_unique<Table>(sample.name() + "_flt", sample.schema());
+  for (const Row& row : sample.rows()) {
+    if (filter.Matches(row, sample.schema())) filtered->AddRow(row);
+  }
+  return filtered;
+}
+
+const Table& SampleManager::GetSample(const Table& table, double f) {
+  std::ostringstream key;
+  key << table.name() << "|" << f;
+  auto it = samples_.find(key.str());
+  if (it == samples_.end()) {
+    // Drawing the sample scans the base table once.
+    rows_scanned_ += table.num_rows();
+    it = samples_
+             .emplace(key.str(),
+                      CreateUniformSample(table, f, /*min_rows=*/50, &rng_))
+             .first;
+  }
+  return *it->second;
+}
+
+const Table& SampleManager::GetFilteredSample(const Table& table, double f,
+                                              const ColumnFilter& filter) {
+  std::ostringstream key;
+  key << table.name() << "|" << f << "|" << filter.ToString();
+  auto it = samples_.find(key.str());
+  if (it == samples_.end()) {
+    const Table& base = GetSample(table, f);
+    it = samples_.emplace(key.str(), CreateFilteredSample(base, filter)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace capd

@@ -1,0 +1,57 @@
+// Uniform and filtered samples (Section 4.1 / Appendix B.1). The Sample
+// Manager amortizes the expensive part — drawing a uniform random sample —
+// by taking ONE sample per table and reusing it for every index on that
+// table; filtered samples for partial indexes are derived from it.
+#ifndef CAPD_STATS_SAMPLER_H_
+#define CAPD_STATS_SAMPLER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "index/index_def.h"
+#include "storage/table.h"
+
+namespace capd {
+
+// Draws a uniform row sample of fraction f (at least min_rows if the table
+// has them). The sample is itself a Table, so every consumer (index builder,
+// stats) works on it unchanged.
+std::unique_ptr<Table> CreateUniformSample(const Table& table, double f,
+                                           uint64_t min_rows, Random* rng);
+
+// Applies a partial-index predicate to an existing sample (Appendix B.1:
+// "SELECT * INTO SI1 FROM S_LINEITEM WHERE ...").
+std::unique_ptr<Table> CreateFilteredSample(const Table& sample,
+                                            const ColumnFilter& filter);
+
+// Caches one uniform sample per (table, f) and filtered variants on top.
+// Tracks how many base-table rows were scanned to build samples, the
+// dominant cost the paper's Section 4.1 amortizes away.
+class SampleManager {
+ public:
+  explicit SampleManager(uint64_t seed) : rng_(seed) {}
+
+  // Returns the cached sample of `table` at fraction f, creating it on
+  // first use.
+  const Table& GetSample(const Table& table, double f);
+
+  // Filtered sample for a partial index (cached by filter signature).
+  const Table& GetFilteredSample(const Table& table, double f,
+                                 const ColumnFilter& filter);
+
+  // Total base-table rows scanned to materialize samples so far.
+  uint64_t rows_scanned() const { return rows_scanned_; }
+  size_t num_samples() const { return samples_.size(); }
+
+ private:
+  Random rng_;
+  std::map<std::string, std::unique_ptr<Table>> samples_;
+  uint64_t rows_scanned_ = 0;
+};
+
+}  // namespace capd
+
+#endif  // CAPD_STATS_SAMPLER_H_

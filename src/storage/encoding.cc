@@ -1,0 +1,148 @@
+#include "storage/encoding.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace capd {
+namespace {
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t u) {
+  return static_cast<int64_t>(u >> 1) ^ -static_cast<int64_t>(u & 1);
+}
+
+void AppendBigEndian64(uint64_t u, std::string* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((u >> shift) & 0xff));
+  }
+}
+
+uint64_t ReadBigEndian64(std::string_view data) {
+  uint64_t u = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    u = (u << 8) | static_cast<unsigned char>(data[i]);
+  }
+  return u;
+}
+
+// Order-preserving transform for IEEE doubles: flip sign bit for positives,
+// flip all bits for negatives.
+uint64_t DoubleToOrderedBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  if (bits & (1ull << 63)) return ~bits;
+  return bits | (1ull << 63);
+}
+
+double OrderedBitsToDouble(uint64_t bits) {
+  if (bits & (1ull << 63)) {
+    bits &= ~(1ull << 63);
+  } else {
+    bits = ~bits;
+  }
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+void EncodeField(const Value& v, const Column& col, std::string* out) {
+  CAPD_CHECK(v.type() == col.type)
+      << "value type " << ValueTypeName(v.type()) << " vs column " << col.name
+      << " of " << ValueTypeName(col.type);
+  switch (col.type) {
+    case ValueType::kInt64:
+    case ValueType::kDate: {
+      CAPD_CHECK_EQ(col.width, 8u) << "integer columns are 8 bytes wide";
+      AppendBigEndian64(ZigZag(v.AsInt64()), out);
+      return;
+    }
+    case ValueType::kDouble: {
+      CAPD_CHECK_EQ(col.width, 8u);
+      AppendBigEndian64(DoubleToOrderedBits(v.AsDouble()), out);
+      return;
+    }
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      const size_t w = col.width;
+      const size_t n = s.size() > w ? w : s.size();
+      out->append(w - n, '\0');  // left pad: redundancy at the front
+      out->append(s.data(), n);  // truncate over-wide strings
+      return;
+    }
+  }
+}
+
+std::string EncodeFieldToString(const Value& v, const Column& col) {
+  std::string out;
+  out.reserve(col.width);
+  EncodeField(v, col, &out);
+  return out;
+}
+
+Value DecodeField(std::string_view data, const Column& col) {
+  CAPD_CHECK_EQ(data.size(), static_cast<size_t>(col.width));
+  switch (col.type) {
+    case ValueType::kInt64:
+      return Value::Int64(UnZigZag(ReadBigEndian64(data)));
+    case ValueType::kDate:
+      return Value::Date(UnZigZag(ReadBigEndian64(data)));
+    case ValueType::kDouble:
+      return Value::Double(OrderedBitsToDouble(ReadBigEndian64(data)));
+    case ValueType::kString: {
+      size_t start = 0;
+      while (start < data.size() && data[start] == '\0') ++start;
+      return Value::String(std::string(data.substr(start)));
+    }
+  }
+  return Value();
+}
+
+std::string EncodeRow(const Row& row, const Schema& schema) {
+  CAPD_CHECK_EQ(row.size(), schema.num_columns());
+  std::string out;
+  out.reserve(schema.RowWidth());
+  for (size_t c = 0; c < row.size(); ++c) {
+    EncodeField(row[c], schema.column(c), &out);
+  }
+  return out;
+}
+
+Row DecodeRow(std::string_view data, const Schema& schema) {
+  CAPD_CHECK_EQ(data.size(), static_cast<size_t>(schema.RowWidth()));
+  Row row;
+  row.reserve(schema.num_columns());
+  size_t offset = 0;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const Column& col = schema.column(c);
+    row.push_back(DecodeField(data.substr(offset, col.width), col));
+    offset += col.width;
+  }
+  return row;
+}
+
+EncodedPage EncodeRows(const std::vector<Row>& rows, const Schema& schema,
+                       size_t begin, size_t end) {
+  CAPD_CHECK_LE(begin, end);
+  CAPD_CHECK_LE(end, rows.size());
+  EncodedPage page;
+  page.rows.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    const Row& row = rows[i];
+    CAPD_CHECK_EQ(row.size(), schema.num_columns());
+    std::vector<std::string> fields;
+    fields.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      fields.push_back(EncodeFieldToString(row[c], schema.column(c)));
+    }
+    page.rows.push_back(std::move(fields));
+  }
+  return page;
+}
+
+}  // namespace capd

@@ -1,0 +1,49 @@
+// Fixed-width field encoding. Each value is rendered into exactly
+// column.width bytes with the compressible redundancy at the FRONT:
+//   - integers/dates: zigzag, then big-endian with leading 0x00 bytes;
+//   - doubles: order-preserving 8-byte big-endian of the sign-flipped bits;
+//   - strings: right-justified, left-padded with 0x00 ("00000abc" in the
+//     paper's NULL-suppression example).
+// Byte-wise lexicographic comparison of encoded fields matches Value order
+// for the numeric types and for equal-length strings (variable-length
+// strings order by (length, content) — the index builder sorts on Value
+// order, so this only affects how well the prefix codec's anchors line up).
+#ifndef CAPD_STORAGE_ENCODING_H_
+#define CAPD_STORAGE_ENCODING_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace capd {
+
+// Encodes `v` into exactly `col.width` bytes (appended to *out).
+void EncodeField(const Value& v, const Column& col, std::string* out);
+
+// Convenience: returns the encoded field as its own string.
+std::string EncodeFieldToString(const Value& v, const Column& col);
+
+// Decodes a field previously produced by EncodeField. `data` must hold
+// exactly col.width bytes.
+Value DecodeField(std::string_view data, const Column& col);
+
+// Encodes a whole row under `schema` (fields concatenated per column order).
+// Field boundaries are implied by the schema widths.
+std::string EncodeRow(const Row& row, const Schema& schema);
+Row DecodeRow(std::string_view data, const Schema& schema);
+
+// An EncodedPage is the unit the compression codecs operate on: a batch of
+// rows with each field already rendered to its fixed width.
+struct EncodedPage {
+  // rows[i][c] is the encoded bytes of column c of row i (width widths[c]).
+  std::vector<std::vector<std::string>> rows;
+};
+
+EncodedPage EncodeRows(const std::vector<Row>& rows, const Schema& schema,
+                       size_t begin, size_t end);
+
+}  // namespace capd
+
+#endif  // CAPD_STORAGE_ENCODING_H_

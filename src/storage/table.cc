@@ -1,0 +1,19 @@
+#include "storage/table.h"
+
+#include "common/logging.h"
+
+namespace capd {
+
+void Table::AddRow(Row row) {
+  CAPD_CHECK_EQ(row.size(), schema_.num_columns()) << "table " << name_;
+  rows_.push_back(std::move(row));
+}
+
+uint64_t Table::HeapPages() const {
+  const uint64_t row_bytes = schema_.RowWidth() + kRowOverhead;
+  const uint64_t rows_per_page = kPageCapacity / row_bytes;
+  CAPD_CHECK_GT(rows_per_page, 0u) << "row wider than a page";
+  return (num_rows() + rows_per_page - 1) / rows_per_page;
+}
+
+}  // namespace capd

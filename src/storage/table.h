@@ -1,0 +1,42 @@
+// In-memory tables. Rows live in a vector; the physical-design machinery
+// derives page counts through the index builder rather than from a real
+// buffer pool, which is all the paper's evaluation needs.
+#ifndef CAPD_STORAGE_TABLE_H_
+#define CAPD_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace capd {
+
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  const std::vector<Row>& rows() const { return rows_; }
+  uint64_t num_rows() const { return rows_.size(); }
+
+  void AddRow(Row row);
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  // Uncompressed heap size in pages/bytes (fixed row width + slot overhead).
+  uint64_t HeapPages() const;
+  uint64_t HeapBytes() const { return HeapPages() * kPageSize; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace capd
+
+#endif  // CAPD_STORAGE_TABLE_H_

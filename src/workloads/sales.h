@@ -1,0 +1,31 @@
+// The "Sales" workload: a synthetic stand-in for the paper's real customer
+// database — a star-schema sales-tracking DB with 50 analytic queries and
+// two fact-table bulk loads. Heavily denormalized, low-cardinality string
+// columns on the fact table make compression attractive, matching the
+// paper's description of the dataset's behaviour.
+#ifndef CAPD_WORKLOADS_SALES_H_
+#define CAPD_WORKLOADS_SALES_H_
+
+#include <cstdint>
+
+#include "catalog/database.h"
+#include "query/query.h"
+
+namespace capd {
+namespace sales {
+
+struct Options {
+  uint64_t fact_rows = 10000;
+  uint64_t seed = 424242;
+  uint64_t bulk_rows = 1200;
+};
+
+void Build(Database* db, const Options& options);
+
+// 50 analytic queries + 2 bulk loads.
+Workload MakeWorkload(const Database& db, const Options& options);
+
+}  // namespace sales
+}  // namespace capd
+
+#endif  // CAPD_WORKLOADS_SALES_H_

@@ -1,0 +1,69 @@
+#include "workloads/tpcds_lite.h"
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace capd {
+namespace tpcds {
+
+void Build(Database* db, const Options& options) {
+  Random rng(options.seed);
+  const uint64_t n_fact = options.store_sales_rows;
+  const uint64_t n_item = std::max<uint64_t>(n_fact / 20, 10);
+  const uint64_t n_store = std::max<uint64_t>(n_fact / 500, 3);
+
+  auto item = std::make_unique<Table>(
+      "item", Schema({{"i_item_sk", ValueType::kInt64, 8},
+                      {"i_brand", ValueType::kString, 12},
+                      {"i_class", ValueType::kString, 10},
+                      {"i_current_price", ValueType::kDouble, 8}}));
+  const char* kClasses[] = {"shirts", "pants", "dresses", "shoes", "hats"};
+  for (uint64_t i = 1; i <= n_item; ++i) {
+    item->AddRow({Value::Int64(static_cast<int64_t>(i)),
+                  Value::String("brand_" + std::to_string(i % 40)),
+                  Value::String(kClasses[i % 5]),
+                  Value::Double(rng.Uniform(1, 300))});
+  }
+  db->AddTable(std::move(item));
+
+  auto store = std::make_unique<Table>(
+      "store", Schema({{"st_store_sk", ValueType::kInt64, 8},
+                       {"st_state", ValueType::kString, 2},
+                       {"st_tax", ValueType::kDouble, 8}}));
+  const char* kStates[] = {"TN", "GA", "SC", "AL", "KY"};
+  for (uint64_t i = 1; i <= n_store; ++i) {
+    store->AddRow({Value::Int64(static_cast<int64_t>(i)),
+                   Value::String(kStates[i % 5]),
+                   Value::Double(0.01 * static_cast<double>(rng.Uniform(0, 9)))});
+  }
+  db->AddTable(std::move(store));
+
+  // TPC-DS item popularity is strongly skewed: Zipf 0.8.
+  ZipfGenerator item_zipf(n_item, 0.8);
+  auto ss = std::make_unique<Table>(
+      "store_sales", Schema({{"ss_sold_date_sk", ValueType::kInt64, 8},
+                             {"ss_item_sk_fk", ValueType::kInt64, 8},
+                             {"ss_store_sk_fk", ValueType::kInt64, 8},
+                             {"ss_quantity", ValueType::kInt64, 8},
+                             {"ss_sales_price", ValueType::kDouble, 8},
+                             {"ss_ext_discount", ValueType::kDouble, 8},
+                             {"ss_promo", ValueType::kString, 8}}));
+  const char* kPromos[] = {"NONE", "EMAIL", "TV", "RADIO"};
+  ss->Reserve(n_fact);
+  for (uint64_t i = 1; i <= n_fact; ++i) {
+    ss->AddRow({Value::Int64(2450000 + rng.Uniform(0, 1800)),
+                Value::Int64(static_cast<int64_t>(item_zipf.Next(&rng)) + 1),
+                Value::Int64(rng.Uniform(1, static_cast<int64_t>(n_store))),
+                Value::Int64(rng.Uniform(1, 99)),
+                Value::Double(rng.Uniform(1, 300)),
+                Value::Double(0.01 * static_cast<double>(rng.Uniform(0, 40))),
+                Value::String(kPromos[rng.Next(4)])});
+  }
+  db->AddTable(std::move(ss));
+
+  db->AddForeignKey({"store_sales", "ss_item_sk_fk", "item", "i_item_sk"});
+  db->AddForeignKey({"store_sales", "ss_store_sk_fk", "store", "st_store_sk"});
+}
+
+}  // namespace tpcds
+}  // namespace capd

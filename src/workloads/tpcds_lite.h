@@ -1,0 +1,24 @@
+// A slim TPC-DS-flavoured schema (store_sales + item + store). Used only by
+// the Appendix-C error-model stability analysis (Table 2), which needs a
+// schema/distribution different from TPC-H, not the full benchmark.
+#ifndef CAPD_WORKLOADS_TPCDS_LITE_H_
+#define CAPD_WORKLOADS_TPCDS_LITE_H_
+
+#include <cstdint>
+
+#include "catalog/database.h"
+
+namespace capd {
+namespace tpcds {
+
+struct Options {
+  uint64_t store_sales_rows = 10000;
+  uint64_t seed = 777;
+};
+
+void Build(Database* db, const Options& options);
+
+}  // namespace tpcds
+}  // namespace capd
+
+#endif  // CAPD_WORKLOADS_TPCDS_LITE_H_

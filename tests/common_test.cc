@@ -1,0 +1,179 @@
+// Unit tests for src/common: RNG, Zipf, statistical helpers.
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace capd {
+namespace {
+
+TEST(RandomTest, DeterministicUnderSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(1000), b.Next(1000));
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next(1000000) == b.Next(1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, SampleIndicesExactSizeSortedUnique) {
+  Random rng(11);
+  for (uint64_t n : {10u, 100u, 1000u}) {
+    for (uint64_t k : {1u, 5u, 9u}) {
+      auto s = rng.SampleIndices(n, std::min<uint64_t>(k, n));
+      EXPECT_EQ(s.size(), std::min<uint64_t>(k, n));
+      EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+      std::set<uint64_t> uniq(s.begin(), s.end());
+      EXPECT_EQ(uniq.size(), s.size());
+      for (uint64_t idx : s) EXPECT_LT(idx, n);
+    }
+  }
+}
+
+TEST(RandomTest, SampleIndicesFullRange) {
+  Random rng(13);
+  auto s = rng.SampleIndices(20, 20);
+  EXPECT_EQ(s.size(), 20u);
+  for (uint64_t i = 0; i < 20; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(RandomTest, SampleIndicesRoughlyUniform) {
+  Random rng(17);
+  std::vector<int> hits(10, 0);
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (uint64_t idx : rng.SampleIndices(10, 3)) hits[idx]++;
+  }
+  // Each index expected 600 hits; allow generous slack.
+  for (int h : hits) {
+    EXPECT_GT(h, 450);
+    EXPECT_LT(h, 750);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  ZipfGenerator zipf(10, 0.0);
+  Random rng(3);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) hits[zipf.Next(&rng)]++;
+  for (int h : hits) {
+    EXPECT_GT(h, 800);
+    EXPECT_LT(h, 1200);
+  }
+}
+
+TEST(ZipfTest, HighThetaConcentratesOnLowRanks) {
+  ZipfGenerator zipf(1000, 2.0);
+  Random rng(5);
+  int head = 0;
+  const int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (zipf.Next(&rng) < 10) ++head;
+  }
+  EXPECT_GT(head, kTrials * 3 / 4);  // rank<10 dominates at theta=2
+}
+
+TEST(ZipfTest, RanksInRange) {
+  ZipfGenerator zipf(50, 1.0);
+  Random rng(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Next(&rng), 50u);
+}
+
+TEST(MathTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(MathTest, NormalProbBetweenDegenerate) {
+  EXPECT_EQ(NormalProbBetween(0.5, 0.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(NormalProbBetween(2.0, 0.0, 0.0, 1.0), 0.0);
+}
+
+TEST(MathTest, ProbWithinToleranceUnbiasedTight) {
+  // Tiny variance => certainly within any tolerance.
+  EXPECT_GT(ProbWithinTolerance(0.0, 1e-8, 0.2), 0.999);
+  // Huge variance => low probability.
+  EXPECT_LT(ProbWithinTolerance(0.0, 10.0, 0.2), 0.3);
+}
+
+TEST(MathTest, ProbWithinToleranceBiasHurts) {
+  const double unbiased = ProbWithinTolerance(0.0, 0.01, 0.2);
+  const double biased = ProbWithinTolerance(0.25, 0.01, 0.2);
+  EXPECT_GT(unbiased, biased);
+}
+
+TEST(MathTest, VarianceOfProductMatchesGoodman) {
+  // Two variables: Var(XY) = (v1+m1^2)(v2+m2^2) - m1^2 m2^2.
+  const double v = VarianceOfProduct({1.0, 2.0}, {0.1, 0.2});
+  EXPECT_NEAR(v, (0.1 + 1.0) * (0.2 + 4.0) - 4.0, 1e-12);
+}
+
+TEST(MathTest, VarianceOfProductZeroVariances) {
+  EXPECT_NEAR(VarianceOfProduct({1.5, 2.0}, {0.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(MathTest, VarianceOfProductAgreesWithSimulation) {
+  // Monte-Carlo check of Goodman's formula for independent normals.
+  Random rng(123);
+  std::normal_distribution<double> n1(1.0, 0.05), n2(1.0, 0.1);
+  std::vector<double> prods;
+  for (int i = 0; i < 200000; ++i) {
+    prods.push_back(n1(rng.engine()) * n2(rng.engine()));
+  }
+  const double sim_var = StdDev(prods) * StdDev(prods);
+  const double formula = VarianceOfProduct({1.0, 1.0}, {0.0025, 0.01});
+  EXPECT_NEAR(sim_var, formula, 0.001);
+}
+
+TEST(MathTest, FitLogCoefficientRecoversPlanted) {
+  // y = -0.015 ln(x)
+  std::vector<double> xs = {0.01, 0.02, 0.05, 0.1};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(-0.015 * std::log(x));
+  EXPECT_NEAR(FitLogCoefficient(xs, ys), -0.015, 1e-9);
+}
+
+TEST(MathTest, FitLinearThroughOriginRecoversPlanted) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  std::vector<double> ys = {0.01, 0.02, 0.03, 0.04};
+  EXPECT_NEAR(FitLinearThroughOrigin(xs, ys), 0.01, 1e-9);
+}
+
+TEST(MathTest, MeanAndStdDev) {
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(Mean(xs), 5.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace capd

@@ -1,0 +1,105 @@
+// Tests for DDL generation and the tuning report.
+#include <gtest/gtest.h>
+
+#include "advisor/report.h"
+#include "workloads/tpch.h"
+
+namespace capd {
+namespace {
+
+IndexDef MakeDef() {
+  IndexDef def;
+  def.object = "lineitem";
+  def.key_columns = {"l_shipdate", "l_shipmode"};
+  def.include_columns = {"l_extendedprice"};
+  def.compression = CompressionKind::kPage;
+  return def;
+}
+
+TEST(ReportTest, CreateIndexBasics) {
+  const std::string sql = ToCreateIndexSql(MakeDef(), "ix1");
+  EXPECT_EQ(sql,
+            "CREATE NONCLUSTERED INDEX ix1 ON lineitem (l_shipdate, "
+            "l_shipmode) INCLUDE (l_extendedprice) WITH (DATA_COMPRESSION = "
+            "PAGE);");
+}
+
+TEST(ReportTest, CreateIndexClusteredNoCompression) {
+  IndexDef def = MakeDef();
+  def.clustered = true;
+  def.include_columns.clear();
+  def.compression = CompressionKind::kNone;
+  const std::string sql = ToCreateIndexSql(def, "cix");
+  EXPECT_EQ(sql,
+            "CREATE CLUSTERED INDEX cix ON lineitem (l_shipdate, l_shipmode);");
+}
+
+TEST(ReportTest, CreateIndexFilteredWithDate) {
+  IndexDef def = MakeDef();
+  def.include_columns.clear();
+  def.compression = CompressionKind::kRow;
+  def.filter = ColumnFilter{"l_shipdate", FilterOp::kGe, Value::Date(10957), {}};
+  const std::string sql = ToCreateIndexSql(def, "fix");
+  EXPECT_NE(sql.find("WHERE l_shipdate >= '2000-01-01'"), std::string::npos);
+  EXPECT_NE(sql.find("DATA_COMPRESSION = ROW"), std::string::npos);
+}
+
+TEST(ReportTest, CreateIndexStringLiteralQuoted) {
+  IndexDef def = MakeDef();
+  def.filter = ColumnFilter{"l_shipmode", FilterOp::kEq, Value::String("AIR"), {}};
+  EXPECT_NE(ToCreateIndexSql(def, "i").find("l_shipmode = 'AIR'"),
+            std::string::npos);
+}
+
+TEST(ReportTest, CreateViewSql) {
+  MVDef def;
+  def.name = "mv_rev";
+  def.fact_table = "lineitem";
+  def.joins = {{"part", "l_partkey", "p_partkey"}};
+  def.group_by = {"p_brand"};
+  def.aggregates = {{"l_extendedprice", "SUM"}};
+  def.predicates = {{"l_quantity", FilterOp::kLt, Value::Int64(10), {}}};
+  const std::string sql = ToCreateViewSql(def);
+  EXPECT_NE(sql.find("CREATE VIEW mv_rev"), std::string::npos);
+  EXPECT_NE(sql.find("SUM(l_extendedprice) AS sum_l_extendedprice"),
+            std::string::npos);
+  EXPECT_NE(sql.find("JOIN part ON lineitem.l_partkey = part.p_partkey"),
+            std::string::npos);
+  EXPECT_NE(sql.find("WHERE l_quantity < 10"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY p_brand"), std::string::npos);
+  EXPECT_NE(sql.find("COUNT_BIG(*)"), std::string::npos);
+}
+
+TEST(ReportTest, FullReportEndToEnd) {
+  Database db;
+  tpch::Options opt;
+  opt.lineitem_rows = 1500;
+  tpch::Build(&db, opt);
+  const Workload w = tpch::MakeWorkload(db, opt);
+  SampleManager samples(5);
+  TableSampleSource source(db, &samples);
+  WhatIfOptimizer optimizer(db, CostModelParams{});
+  SizeEstimator sizes(db, &source, ErrorModel(), SizeEstimationOptions{});
+  Advisor advisor(db, optimizer, &sizes, nullptr, AdvisorOptions::DTAcBoth());
+  const double budget = 0.4 * static_cast<double>(db.BaseDataBytes());
+  const AdvisorResult result = advisor.Tune(w, budget);
+
+  const std::string report = RenderTuningReport(result, nullptr, budget);
+  EXPECT_NE(report.find("capd tuning report"), std::string::npos);
+  EXPECT_NE(report.find("improvement"), std::string::npos);
+  if (result.config.size() > 0) {
+    EXPECT_NE(report.find("CREATE "), std::string::npos);
+    EXPECT_NE(report.find("capd_ix_1"), std::string::npos);
+  }
+}
+
+TEST(ReportTest, EmptyRecommendationReported) {
+  AdvisorResult result;
+  result.initial_cost = 100;
+  result.final_cost = 100;
+  const std::string report = RenderTuningReport(result, nullptr, 0.0);
+  EXPECT_NE(report.find("no objects recommended"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace capd

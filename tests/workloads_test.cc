@@ -1,0 +1,205 @@
+// Generator invariants: referential integrity, determinism, skew, and the
+// statistical properties the experiments depend on.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workloads/sales.h"
+#include "workloads/tpcds_lite.h"
+#include "workloads/tpch.h"
+
+namespace capd {
+namespace {
+
+// Every FK value in `fact.fk_column` must exist in `dim.key_column`.
+void ExpectFkIntegrity(const Database& db, const ForeignKey& fk) {
+  const Table& fact = db.table(fk.fact_table);
+  const Table& dim = db.table(fk.dim_table);
+  std::set<int64_t> keys;
+  const size_t kpos = dim.schema().ColumnIndex(fk.key_column);
+  for (const Row& r : dim.rows()) keys.insert(r[kpos].AsInt64());
+  const size_t fpos = fact.schema().ColumnIndex(fk.fk_column);
+  for (const Row& r : fact.rows()) {
+    ASSERT_TRUE(keys.count(r[fpos].AsInt64()))
+        << fk.fact_table << "." << fk.fk_column << " dangling value "
+        << r[fpos].AsInt64();
+  }
+}
+
+TEST(TpchGenerator, RowCountsScale) {
+  Database db;
+  tpch::Options opt;
+  opt.lineitem_rows = 4000;
+  tpch::Build(&db, opt);
+  EXPECT_EQ(db.table("lineitem").num_rows(), 4000u);
+  EXPECT_EQ(db.table("orders").num_rows(), 1000u);
+  EXPECT_GT(db.table("part").num_rows(), 0u);
+  EXPECT_EQ(db.table("nation").num_rows(), 25u);
+}
+
+TEST(TpchGenerator, ForeignKeyIntegrity) {
+  Database db;
+  tpch::Options opt;
+  opt.lineitem_rows = 3000;
+  tpch::Build(&db, opt);
+  for (const ForeignKey& fk : db.foreign_keys()) ExpectFkIntegrity(db, fk);
+}
+
+TEST(TpchGenerator, DeterministicUnderSeed) {
+  Database a, b;
+  tpch::Options opt;
+  opt.lineitem_rows = 1000;
+  tpch::Build(&a, opt);
+  tpch::Build(&b, opt);
+  const auto& ra = a.table("lineitem").rows();
+  const auto& rb = b.table("lineitem").rows();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); i += 97) {
+    for (size_t c = 0; c < ra[i].size(); ++c) {
+      EXPECT_EQ(ra[i][c].Compare(rb[i][c]), 0);
+    }
+  }
+}
+
+TEST(TpchGenerator, SeedChangesData) {
+  Database a, b;
+  tpch::Options opt;
+  opt.lineitem_rows = 1000;
+  tpch::Build(&a, opt);
+  opt.seed = 1;
+  tpch::Build(&b, opt);
+  int diffs = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    if (a.table("lineitem").rows()[i][4].AsInt64() !=
+        b.table("lineitem").rows()[i][4].AsInt64()) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 30);
+}
+
+TEST(TpchGenerator, SkewConcentratesPartKeys) {
+  Database flat, skewed;
+  tpch::Options opt;
+  opt.lineitem_rows = 6000;
+  tpch::Build(&flat, opt);
+  opt.skew_z = 2.0;
+  tpch::Build(&skewed, opt);
+  auto top_share = [](const Database& db) {
+    std::map<int64_t, int> counts;
+    const Table& li = db.table("lineitem");
+    const size_t p = li.schema().ColumnIndex("l_partkey");
+    for (const Row& r : li.rows()) counts[r[p].AsInt64()]++;
+    int best = 0;
+    for (const auto& [k, c] : counts) best = std::max(best, c);
+    return static_cast<double>(best) / static_cast<double>(li.num_rows());
+  };
+  EXPECT_GT(top_share(skewed), 4.0 * top_share(flat));
+}
+
+TEST(TpchGenerator, ShipmodeInstructCorrelated) {
+  Database db;
+  tpch::Options opt;
+  opt.lineitem_rows = 4000;
+  tpch::Build(&db, opt);
+  const TableStats& stats = db.stats("lineitem");
+  const uint64_t combos =
+      stats.DistinctOfColumns(db.table("lineitem"), {"l_shipmode", "l_shipinstruct"});
+  const uint64_t modes = stats.column("l_shipmode").distinct;
+  const uint64_t instructs = stats.column("l_shipinstruct").distinct;
+  // Strong correlation: far fewer combos than the independence product.
+  EXPECT_LT(combos, modes * instructs * 3 / 4);
+}
+
+TEST(TpchGenerator, DatesInRange) {
+  Database db;
+  tpch::Options opt;
+  opt.lineitem_rows = 2000;
+  tpch::Build(&db, opt);
+  const Table& li = db.table("lineitem");
+  const size_t ship = li.schema().ColumnIndex("l_shipdate");
+  const size_t receipt = li.schema().ColumnIndex("l_receiptdate");
+  for (const Row& r : li.rows()) {
+    EXPECT_GE(r[ship].AsInt64(), 8766);    // >= 1994-01-01
+    EXPECT_LT(r[ship].AsInt64(), 10957);   // < 2000-01-01
+    EXPECT_GT(r[receipt].AsInt64(), r[ship].AsInt64());
+  }
+}
+
+TEST(SalesGenerator, SchemaAndIntegrity) {
+  Database db;
+  sales::Options opt;
+  opt.fact_rows = 3000;
+  sales::Build(&db, opt);
+  EXPECT_EQ(db.table("sales").num_rows(), 3000u);
+  for (const ForeignKey& fk : db.foreign_keys()) ExpectFkIntegrity(db, fk);
+  // Denormalized low-cardinality strings on the fact table (the property
+  // that makes Sales compression-friendly).
+  EXPECT_LE(db.stats("sales").column("state").distinct, 10u);
+  EXPECT_LE(db.stats("sales").column("channel").distinct, 4u);
+}
+
+TEST(SalesGenerator, FiftyQueriesTwoBulkLoads) {
+  Database db;
+  sales::Options opt;
+  opt.fact_rows = 2000;
+  sales::Build(&db, opt);
+  const Workload w = sales::MakeWorkload(db, opt);
+  size_t selects = 0, inserts = 0;
+  for (const Statement& s : w.statements) {
+    if (s.type == StatementType::kSelect) ++selects;
+    if (s.type == StatementType::kInsert) ++inserts;
+  }
+  EXPECT_EQ(selects, 50u);
+  EXPECT_EQ(inserts, 2u);
+}
+
+TEST(SalesGenerator, ProductPopularitySkewed) {
+  Database db;
+  sales::Options opt;
+  opt.fact_rows = 5000;
+  sales::Build(&db, opt);
+  std::map<int64_t, int> counts;
+  const Table& s = db.table("sales");
+  const size_t p = s.schema().ColumnIndex("product_key_fk");
+  for (const Row& r : s.rows()) counts[r[p].AsInt64()]++;
+  int best = 0;
+  for (const auto& [k, c] : counts) best = std::max(best, c);
+  // Zipf(1.0): the top product should far exceed the uniform share.
+  EXPECT_GT(best, static_cast<int>(5 * 5000 / counts.size()));
+}
+
+TEST(TpcdsGenerator, BuildsAndHasIntegrity) {
+  Database db;
+  tpcds::Options opt;
+  opt.store_sales_rows = 2000;
+  tpcds::Build(&db, opt);
+  EXPECT_EQ(db.table("store_sales").num_rows(), 2000u);
+  for (const ForeignKey& fk : db.foreign_keys()) ExpectFkIntegrity(db, fk);
+}
+
+TEST(WorkloadShape, TpchBudgetsAreMeaningful) {
+  // The experiment budgets (3%..100% of base bytes) must be non-trivial:
+  // base data must be at least tens of pages.
+  Database db;
+  tpch::Options opt;
+  opt.lineitem_rows = 6000;
+  tpch::Build(&db, opt);
+  EXPECT_GT(db.BaseDataBytes(), 50u * kPageSize);
+}
+
+TEST(WorkloadShape, SelectOnlyStripsInserts) {
+  Database db;
+  tpch::Options opt;
+  opt.lineitem_rows = 500;
+  tpch::Build(&db, opt);
+  const Workload w = tpch::MakeWorkload(db, opt);
+  const Workload sel = tpch::SelectOnly(w);
+  EXPECT_EQ(sel.statements.size(), 22u);
+  for (const Statement& s : sel.statements) {
+    EXPECT_EQ(s.type, StatementType::kSelect);
+  }
+}
+
+}  // namespace
+}  // namespace capd
