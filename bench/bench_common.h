@@ -30,7 +30,10 @@ struct Stack {
 
   AdvisorResult Tune(const AdvisorOptions& options, double budget_frac,
                      const Workload& w) {
-    Advisor advisor(*db, *optimizer, sizes.get(), mvs.get(), options);
+    // Built per call from options.size_options so variant knobs
+    // (num_threads, cache, use_deduction, e/q) actually reach estimation.
+    SizeEstimator estimator(*db, mvs.get(), ErrorModel(), options.size_options);
+    Advisor advisor(*db, *optimizer, &estimator, mvs.get(), options);
     return advisor.Tune(w, budget_frac * static_cast<double>(db->BaseDataBytes()));
   }
 };

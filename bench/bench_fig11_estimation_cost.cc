@@ -6,6 +6,7 @@
 // Paper shape: deduction turns size estimation from the dominating cost
 // into a modest one (~3x less estimation work).
 #include <chrono>
+#include <cstdlib>
 
 #include "bench/bench_common.h"
 
@@ -25,8 +26,8 @@ double Millis(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-RunStats RunOnce(bool use_deduction) {
-  Stack s = MakeTpchStack(24000);
+RunStats RunOnce(bool use_deduction, uint64_t lineitem_rows) {
+  Stack s = MakeTpchStack(lineitem_rows);
   AdvisorOptions options = AdvisorOptions::DTAcBoth();
   options.enable_partial = true;
   options.enable_mv = true;
@@ -85,11 +86,11 @@ RunStats RunOnce(bool use_deduction) {
   return stats;
 }
 
-void Run() {
+void Run(uint64_t lineitem_rows) {
   PrintHeader("Figure 11: size-estimation cost with/without deduction");
   std::printf("%-18s %14s %14s\n", "component", "w/o deduction", "with deduction");
-  const RunStats without = RunOnce(false);
-  const RunStats with = RunOnce(true);
+  const RunStats without = RunOnce(false, lineitem_rows);
+  const RunStats with = RunOnce(true, lineitem_rows);
   std::printf("%-18s %11.0f pg %11.0f pg\n", "Table-Estimate",
               without.table_cost, with.table_cost);
   std::printf("%-18s %11.0f pg %11.0f pg\n", "Partial-Estimate",
@@ -116,7 +117,17 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
+// Usage: bench_fig11_estimation_cost [lineitem_rows] (default 24000; CI
+// smoke runs use a tiny row count).
+int main(int argc, char** argv) {
+  uint64_t rows = 24000;
+  if (argc > 1) {
+    rows = std::strtoull(argv[1], nullptr, 10);
+    if (rows == 0) {
+      std::fprintf(stderr, "invalid row count '%s'\n", argv[1]);
+      return 1;
+    }
+  }
+  capd::bench::Run(rows);
   return 0;
 }

@@ -68,7 +68,9 @@ std::map<std::string, PhysicalIndexEstimate> Advisor::EstimateSizes(
   }
   if (result != nullptr) {
     result->estimation_cost_pages += batch.total_cost_pages;
-    result->chosen_f = batch.chosen_f;
+    // A fully cache-served batch never picks a fraction (chosen_f == 0);
+    // keep the last real one rather than clobbering the report.
+    if (batch.chosen_f > 0.0) result->chosen_f = batch.chosen_f;
     result->num_sampled += batch.num_sampled;
     result->num_deduced += batch.num_deduced;
   }

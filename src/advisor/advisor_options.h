@@ -37,6 +37,15 @@ struct AdvisorOptions {
   bool enable_mv = false;       // MV + MV-index candidates
   bool enable_merging = true;   // index merging [8]
 
+  // Size-estimation knobs (Section 5 framework). Noteworthy fields:
+  //   size_options.num_threads — parallel batch estimation: independent
+  //     SampleCF runs execute across this many workers (1 = serial,
+  //     0 = hardware concurrency) with bit-identical results.
+  //   size_options.cache — shared cross-round EstimationCache: indexes
+  //     priced in an earlier advisor round (initial pool, merged pool,
+  //     staged baseline) are reused instead of re-sampled.
+  // Callers that construct the SizeEstimator themselves must build it from
+  // this struct for the knobs to take effect (see bench/bench_common.h).
   SizeEstimationOptions size_options;
 
   // Prints greedy/backtracking decisions to stderr (debugging aid).
@@ -49,42 +58,6 @@ struct AdvisorOptions {
   static AdvisorOptions DTAcBacktrack();  // + backtracking enumeration
   static AdvisorOptions DTAcBoth();     // full implementation
 };
-
-inline AdvisorOptions AdvisorOptions::DTA() {
-  AdvisorOptions o;
-  o.enable_compression = false;
-  o.selection = CandidateSelectionMode::kTopK;
-  o.backtracking = false;
-  return o;
-}
-
-inline AdvisorOptions AdvisorOptions::DTAcNone() {
-  AdvisorOptions o;
-  o.selection = CandidateSelectionMode::kTopK;
-  o.backtracking = false;
-  return o;
-}
-
-inline AdvisorOptions AdvisorOptions::DTAcSkyline() {
-  AdvisorOptions o;
-  o.selection = CandidateSelectionMode::kSkyline;
-  o.backtracking = false;
-  return o;
-}
-
-inline AdvisorOptions AdvisorOptions::DTAcBacktrack() {
-  AdvisorOptions o;
-  o.selection = CandidateSelectionMode::kTopK;
-  o.backtracking = true;
-  return o;
-}
-
-inline AdvisorOptions AdvisorOptions::DTAcBoth() {
-  AdvisorOptions o;
-  o.selection = CandidateSelectionMode::kSkyline;
-  o.backtracking = true;
-  return o;
-}
 
 }  // namespace capd
 

@@ -1,0 +1,103 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace capd {
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CAPD_CHECK(!stop_) << "Submit on a stopped ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the paired future
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n == 1 ||
+      ThreadPool::InWorker()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto drain = [&] {
+    size_t i;
+    while ((i = next.fetch_add(1)) < n) {
+      {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error) return;  // fail fast: skip remaining iterations
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const size_t workers = std::min<size_t>(pool->size(), n);
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers - 1);
+  for (size_t t = 0; t + 1 < workers; ++t) {
+    futures.push_back(pool->Submit(drain));
+  }
+  drain();  // the calling thread works too
+  for (std::future<void>& f : futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace capd

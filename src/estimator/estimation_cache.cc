@@ -1,0 +1,67 @@
+#include "estimator/estimation_cache.h"
+
+#include <cstdio>
+
+namespace capd {
+
+std::string EstimationCache::Key(const std::string& signature, double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "@%.6g", f);
+  return signature + buf;
+}
+
+std::optional<SampleCfResult> EstimationCache::Lookup(
+    const std::string& signature, double f) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(Key(signature, f));
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+std::optional<SampleCfResult> EstimationCache::LookupBest(
+    const std::string& signature, const std::vector<double>& fractions) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = fractions.rbegin(); it != fractions.rend(); ++it) {
+    const auto entry = entries_.find(Key(signature, *it));
+    if (entry != entries_.end()) {
+      ++hits_;
+      return entry->second;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void EstimationCache::Insert(const std::string& signature, double f,
+                             const SampleCfResult& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[Key(signature, f)] = r;
+}
+
+void EstimationCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+size_t EstimationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t EstimationCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t EstimationCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace capd

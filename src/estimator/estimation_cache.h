@@ -1,0 +1,54 @@
+// Cross-round estimation cache: the advisor's greedy/backtracking
+// enumeration re-prices overlapping candidate sets round after round
+// (initial pool, merged pool, staged baselines), and every re-estimate of
+// an already-priced index is pure waste — size estimation dominates
+// advisor runtime (Figure 11). Entries are keyed by IndexDef signature +
+// sampling fraction, so a hit reproduces exactly what a fresh SampleCF or
+// deduction at that fraction would have produced.
+#ifndef CAPD_ESTIMATOR_ESTIMATION_CACHE_H_
+#define CAPD_ESTIMATOR_ESTIMATION_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "estimator/sample_cf.h"
+
+namespace capd {
+
+class EstimationCache {
+ public:
+  // Estimate of `signature` produced at sampling fraction f, if cached.
+  std::optional<SampleCfResult> Lookup(const std::string& signature,
+                                       double f) const;
+
+  // Best cached estimate of `signature` across candidate fractions: the
+  // last cached entry in `fractions` wins, so pass them ascending (the
+  // SizeEstimationOptions convention) to prefer the largest f — most
+  // accurate; error shrinks monotonically with f in the Section 5.1
+  // model. Probed once per target per round, hence no defensive sort.
+  std::optional<SampleCfResult> LookupBest(
+      const std::string& signature, const std::vector<double>& fractions) const;
+
+  void Insert(const std::string& signature, double f, const SampleCfResult& r);
+
+  void Clear();
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  static std::string Key(const std::string& signature, double f);
+
+  mutable std::mutex mu_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+  std::map<std::string, SampleCfResult> entries_;
+};
+
+}  // namespace capd
+
+#endif  // CAPD_ESTIMATOR_ESTIMATION_CACHE_H_

@@ -462,16 +462,44 @@ double EstimationGraph::Optimal(double f, double e, double q) {
   return best_cost;
 }
 
-std::map<std::string, SampleCfResult> EstimationGraph::Execute(double f) {
+std::map<std::string, SampleCfResult> EstimationGraph::Execute(double f,
+                                                               ThreadPool* pool) {
   std::map<std::string, SampleCfResult> results;  // every known node
   DeductionEngine engine(*db_, source_, f);
 
-  // Worklist in dependency order: a deduced node runs only after all its
-  // children have results (narrow-to-wide alone cannot order same-width
-  // ColSet pairs).
+  // Phase 1: SAMPLED nodes are independent of each other — these are the
+  // leaves of every deduction chain and carry the index-build cost, so
+  // they are the parallel section.
+  std::vector<size_t> sampled;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].state == NodeState::kSampled) sampled.push_back(i);
+  }
+  std::vector<SampleCfResult> sampled_results =
+      ParallelMap<SampleCfResult>(pool, sampled.size(), [&](size_t k) {
+        const IndexNode& node = nodes_[sampled[k]];
+        if (node.is_existing) {
+          SampleCfResult r;
+          r.est_bytes = static_cast<double>(
+              db_->existing_index_bytes().at(node.def.Signature()));
+          r.est_tuples = sampler_.EstimateFullTuples(node.def, f);
+          r.est_uncompressed_bytes =
+              sampler_.UncompressedFullBytes(node.def, r.est_tuples);
+          r.cf = r.est_bytes / std::max(1.0, r.est_uncompressed_bytes);
+          return r;
+        }
+        return sampler_.Estimate(node.def, f);
+      });
+  for (size_t k = 0; k < sampled.size(); ++k) {
+    results[nodes_[sampled[k]].def.Signature()] = sampled_results[k];
+  }
+
+  // Phase 2: DEDUCED nodes compose their children's results via the
+  // deduction formulas — cheap arithmetic, run serially in dependency
+  // order: a deduced node runs only after all its children have results
+  // (narrow-to-wide alone cannot order same-width ColSet pairs).
   std::vector<size_t> pending;
   for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].state != NodeState::kNone) pending.push_back(i);
+    if (nodes_[i].state == NodeState::kDeduced) pending.push_back(i);
   }
   std::sort(pending.begin(), pending.end(), [this](size_t a, size_t b) {
     return nodes_[a].num_stored_columns < nodes_[b].num_stored_columns;
@@ -483,7 +511,7 @@ std::map<std::string, SampleCfResult> EstimationGraph::Execute(double f) {
     const size_t i = pending.front();
     pending.erase(pending.begin());
     IndexNode& node = nodes_[i];
-    if (node.state == NodeState::kDeduced) {
+    {
       const DeductionNode& dd = deductions_[node.chosen_deduction];
       bool ready = true;
       for (size_t c : dd.children) {
@@ -498,22 +526,6 @@ std::map<std::string, SampleCfResult> EstimationGraph::Execute(double f) {
       }
     }
     const std::string sig = node.def.Signature();
-    if (node.state == NodeState::kSampled) {
-      if (node.is_existing) {
-        SampleCfResult r;
-        r.est_bytes = static_cast<double>(
-            db_->existing_index_bytes().at(node.def.Signature()));
-        r.est_tuples = sampler_.EstimateFullTuples(node.def, f);
-        r.est_uncompressed_bytes =
-            sampler_.UncompressedFullBytes(node.def, r.est_tuples);
-        r.cf = r.est_bytes / std::max(1.0, r.est_uncompressed_bytes);
-        results[sig] = r;
-      } else {
-        results[sig] = sampler_.Estimate(node.def, f);
-      }
-      continue;
-    }
-    // Deduced.
     const DeductionNode& d = deductions_[node.chosen_deduction];
     SampleCfResult r;
     r.est_tuples = sampler_.EstimateFullTuples(node.def, f);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "catalog/database.h"
+#include "common/thread_pool.h"
 #include "estimator/deduction.h"
 #include "estimator/error_model.h"
 #include "estimator/sample_cf.h"
@@ -71,7 +72,14 @@ class EstimationGraph {
   // Runs the assigned plan: SampleCF for SAMPLED nodes, deduction formulas
   // for DEDUCED ones. Returns estimates keyed by IndexDef signature
   // (targets only). Also exposes per-node error stats.
-  std::map<std::string, SampleCfResult> Execute(double f);
+  //
+  // With a pool, the independent SampleCF leaf estimations (the dominant
+  // cost: index builds on samples) run concurrently; deduction formulas
+  // then compose serially in dependency order. Output is bit-identical to
+  // the serial path: every node's computation is self-contained and the
+  // shared sample caches seed per key, not per draw order.
+  std::map<std::string, SampleCfResult> Execute(double f,
+                                                ThreadPool* pool = nullptr);
 
   // Composed error of node i under the current assignment.
   ErrorStats NodeError(size_t i, double f) const;

@@ -6,13 +6,53 @@
 
 namespace capd {
 
+ThreadPool* SizeEstimator::Pool() {
+  if (options_.num_threads == 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return pool_.get();
+}
+
 SizeEstimator::BatchResult SizeEstimator::EstimateAll(
     const std::vector<IndexDef>& targets) {
   BatchResult result;
   if (targets.empty()) return result;
 
+  // Cross-round cache: pull out every target already priced at one of the
+  // candidate fractions; only the remainder enters the graph.
+  std::vector<IndexDef> fresh;
+  if (options_.cache != nullptr) {
+    fresh.reserve(targets.size());
+    for (const IndexDef& t : targets) {
+      const std::string sig = t.Signature();
+      if (std::optional<SampleCfResult> cached =
+              options_.cache->LookupBest(sig, options_.fractions)) {
+        result.estimates[sig] = *cached;
+        ++result.cache_hits;
+      } else {
+        fresh.push_back(t);
+      }
+    }
+    if (fresh.empty()) return result;  // nothing to estimate, zero cost
+  } else {
+    fresh = targets;
+  }
+
   EstimationGraph graph(*db_, source_, model_);
-  graph.AddTargets(targets);
+  graph.AddTargets(fresh);
+
+  // Runs the assigned plan at f, merges the fresh estimates into the
+  // result (cached entries are already there), and fills the cache.
+  auto execute_plan = [&](double f) {
+    result.chosen_f = f;
+    for (auto& [sig, r] : graph.Execute(f, Pool())) {
+      if (options_.cache != nullptr) options_.cache->Insert(sig, f, r);
+      result.estimates[sig] = std::move(r);
+    }
+    result.num_sampled = graph.NumSampled();
+    result.num_deduced = graph.NumDeduced();
+  };
 
   if (!options_.use_deduction) {
     // Baseline mode: SampleCF every target at the smallest fraction whose
@@ -27,9 +67,7 @@ SizeEstimator::BatchResult SizeEstimator::EstimateAll(
       }
     }
     result.total_cost_pages = graph.SampleAllTargets(best_f);
-    result.chosen_f = best_f;
-    result.estimates = graph.Execute(best_f);
-    result.num_sampled = graph.NumSampled();
+    execute_plan(best_f);
     result.num_deduced = 0;
     return result;
   }
@@ -52,10 +90,7 @@ SizeEstimator::BatchResult SizeEstimator::EstimateAll(
   }
   // Re-run the winning plan (the graph holds the last run's states).
   result.total_cost_pages = graph.Greedy(best_f, options_.e, options_.q);
-  result.chosen_f = best_f;
-  result.estimates = graph.Execute(best_f);
-  result.num_sampled = graph.NumSampled();
-  result.num_deduced = graph.NumDeduced();
+  execute_plan(best_f);
   return result;
 }
 

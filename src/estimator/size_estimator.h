@@ -6,9 +6,12 @@
 #define CAPD_ESTIMATOR_SIZE_ESTIMATOR_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "estimator/estimation_cache.h"
 #include "estimator/estimation_graph.h"
 
 namespace capd {
@@ -20,6 +23,15 @@ struct SizeEstimationOptions {
   // When false, every target is SampleCF'd (the "w/o deduction" baseline of
   // Figure 11; the shared SampleManager is still used).
   bool use_deduction = true;
+  // Worker threads for the batch-execution phase (independent SampleCF
+  // runs). 1 = serial, 0 = hardware concurrency. Any value produces
+  // byte-identical results: per-key sample seeding makes the parallel
+  // path bit-equal to the serial one.
+  int num_threads = 1;
+  // Optional cross-round cache: targets already priced at a candidate
+  // fraction are reused instead of re-estimated (see estimation_cache.h).
+  // Shared (and thread-safe), so one cache can serve several estimators.
+  std::shared_ptr<EstimationCache> cache;
 };
 
 class SizeEstimator {
@@ -37,6 +49,7 @@ class SizeEstimator {
     double total_cost_pages = 0.0;
     size_t num_sampled = 0;
     size_t num_deduced = 0;
+    size_t cache_hits = 0;  // targets served from the cross-round cache
   };
 
   // Estimates sizes of all (compressed) targets. Uncompressed targets are
@@ -50,10 +63,15 @@ class SizeEstimator {
   const ErrorModel& model() const { return model_; }
 
  private:
+  // The pool for EstimateAll's execution phase (created on first use,
+  // reused across batches); null when options_.num_threads == 1.
+  ThreadPool* Pool();
+
   const Database* db_;
   SampleSource* source_;
   ErrorModel model_;
   SizeEstimationOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace capd

@@ -50,6 +50,11 @@ std::vector<const MVDef*> MVRegistry::All() const {
 }
 
 const Table& MVRegistry::Synopsis(const std::string& fact, double f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SynopsisLocked(fact, f);
+}
+
+const Table& MVRegistry::SynopsisLocked(const std::string& fact, double f) {
   std::ostringstream key;
   key << fact << "|" << f;
   auto it = synopses_.find(key.str());
@@ -71,12 +76,15 @@ const Table& MVRegistry::Synopsis(const std::string& fact, double f) {
 
 const Table& MVRegistry::Sample(const std::string& object, double f) {
   const MVDef* def = Find(object);
+  // Base tables bypass mu_ entirely: the SampleManager has its own lock,
+  // and holding ours here would serialize all base-table sampling too.
   if (def == nullptr) return table_source_.Sample(object, f);
   std::ostringstream key;
   key << object << "|" << f;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = mv_samples_.find(key.str());
   if (it == mv_samples_.end()) {
-    const Table& synopsis = Synopsis(def->fact_table, f);
+    const Table& synopsis = SynopsisLocked(def->fact_table, f);
     it = mv_samples_.emplace(key.str(), AggregateRows(synopsis, *def, *db_))
              .first;
   }
@@ -139,9 +147,16 @@ MVTupleEstimates MVRegistry::EstimateTuples(const MVDef& def, double f) {
 double MVRegistry::FullTuples(const std::string& object) {
   const MVDef* def = Find(object);
   if (def == nullptr) return table_source_.FullTuples(object);
-  const auto it = tuple_estimates_.find(object);
-  if (it != tuple_estimates_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = tuple_estimates_.find(object);
+    if (it != tuple_estimates_.end()) return it->second;
+  }
+  // Computed outside the lock (EstimateTuples re-enters Sample/Synopsis,
+  // which take mu_ themselves). Concurrent callers compute the same
+  // deterministic value, so a double insert is benign.
   const MVTupleEstimates est = EstimateTuples(*def, /*f=*/0.05);
+  std::lock_guard<std::mutex> lock(mu_);
   tuple_estimates_[object] = est.adaptive;
   return est.adaptive;
 }
@@ -193,10 +208,13 @@ std::optional<MVMatcher::MVAccess> MVRegistry::Match(
   }
 
   MVAccess access;
-  const auto est = tuple_estimates_.find(idx.object);
-  access.mv_tuples = est != tuple_estimates_.end()
-                         ? est->second
-                         : static_cast<double>(db_->table(def->fact_table).num_rows());
+  double mv_tuples = static_cast<double>(db_->table(def->fact_table).num_rows());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto est = tuple_estimates_.find(idx.object);
+    if (est != tuple_estimates_.end()) mv_tuples = est->second;
+  }
+  access.mv_tuples = mv_tuples;
   // Residual selectivity approximated with base-table per-column stats.
   double frac = 1.0;
   for (const ColumnFilter& rp : residual) {

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,14 +62,20 @@ class MVRegistry : public SampleSource, public MVMatcher {
  private:
   // Join synopsis for a fact table (cached per fraction).
   const Table& Synopsis(const std::string& fact, double f);
+  // Requires mu_ held.
+  const Table& SynopsisLocked(const std::string& fact, double f);
 
   const Database* db_;
   SampleManager* samples_;
   TableSampleSource table_source_;
-  std::map<std::string, MVDef> defs_;
+  std::map<std::string, MVDef> defs_;    // mutated only by Register (setup)
+  std::map<std::string, Schema> schemas_;  // mv name; Register-time only
+  // Caches below are filled lazily, possibly from pool workers during
+  // parallel estimation: mu_ guards them. Synopses and MV samples are
+  // seeded per cache key, so contents are independent of creation order.
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Table>> synopses_;    // fact|f
   std::map<std::string, std::unique_ptr<Table>> mv_samples_;  // mv|f
-  std::map<std::string, Schema> schemas_;                     // mv name
   std::map<std::string, double> tuple_estimates_;             // mv name
   uint64_t synopsis_seed_ = 0x5eed;
 };

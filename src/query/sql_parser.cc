@@ -346,7 +346,8 @@ std::string FormatDate(int64_t days) {
   const int64_t d = doy - (153 * mp + 2) / 5 + 1;
   const int64_t m = mp + (mp < 10 ? 3 : -9);
   const int64_t y = yy + (m <= 2 ? 1 : 0);
-  char buf[32];
+  // Worst-case width of three full int64 fields plus separators.
+  char buf[64];
   std::snprintf(buf, sizeof(buf), "%04lld-%02lld-%02lld",
                 static_cast<long long>(y), static_cast<long long>(m),
                 static_cast<long long>(d));

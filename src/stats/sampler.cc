@@ -31,28 +31,65 @@ std::unique_ptr<Table> CreateFilteredSample(const Table& sample,
   return filtered;
 }
 
-const Table& SampleManager::GetSample(const Table& table, double f) {
+namespace {
+
+// FNV-1a: a fixed, platform-independent string hash so per-key sample seeds
+// (and therefore every estimate) are reproducible across runs and builds.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Random SampleManager::RngFor(const std::string& key) const {
+  return Random(seed_ ^ Fnv1a(key));
+}
+
+uint64_t SampleManager::rows_scanned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_scanned_;
+}
+
+size_t SampleManager::num_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+const Table& SampleManager::GetSampleLocked(const Table& table, double f) {
   std::ostringstream key;
   key << table.name() << "|" << f;
   auto it = samples_.find(key.str());
   if (it == samples_.end()) {
-    // Drawing the sample scans the base table once.
+    // Drawing the sample scans the base table once. Building under the lock
+    // serializes creation, which also keeps rows_scanned_ exact.
     rows_scanned_ += table.num_rows();
+    Random rng = RngFor(key.str());
     it = samples_
              .emplace(key.str(),
-                      CreateUniformSample(table, f, /*min_rows=*/50, &rng_))
+                      CreateUniformSample(table, f, /*min_rows=*/50, &rng))
              .first;
   }
   return *it->second;
+}
+
+const Table& SampleManager::GetSample(const Table& table, double f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetSampleLocked(table, f);
 }
 
 const Table& SampleManager::GetFilteredSample(const Table& table, double f,
                                               const ColumnFilter& filter) {
   std::ostringstream key;
   key << table.name() << "|" << f << "|" << filter.ToString();
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = samples_.find(key.str());
   if (it == samples_.end()) {
-    const Table& base = GetSample(table, f);
+    const Table& base = GetSampleLocked(table, f);
     it = samples_.emplace(key.str(), CreateFilteredSample(base, filter)).first;
   }
   return *it->second;

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/random.h"
@@ -30,9 +31,16 @@ std::unique_ptr<Table> CreateFilteredSample(const Table& sample,
 // Caches one uniform sample per (table, f) and filtered variants on top.
 // Tracks how many base-table rows were scanned to build samples, the
 // dominant cost the paper's Section 4.1 amortizes away.
+//
+// Thread-safe: the parallel estimation engine calls GetSample from pool
+// workers. Each sample is drawn from its own RNG seeded by (seed, cache
+// key), so sample contents are independent of creation order and the
+// parallel path is bit-identical to the serial one. Returned Table
+// references stay valid for the manager's lifetime (entries are never
+// evicted).
 class SampleManager {
  public:
-  explicit SampleManager(uint64_t seed) : rng_(seed) {}
+  explicit SampleManager(uint64_t seed) : seed_(seed) {}
 
   // Returns the cached sample of `table` at fraction f, creating it on
   // first use.
@@ -43,11 +51,16 @@ class SampleManager {
                                  const ColumnFilter& filter);
 
   // Total base-table rows scanned to materialize samples so far.
-  uint64_t rows_scanned() const { return rows_scanned_; }
-  size_t num_samples() const { return samples_.size(); }
+  uint64_t rows_scanned() const;
+  size_t num_samples() const;
 
  private:
-  Random rng_;
+  // Both require mu_ held.
+  const Table& GetSampleLocked(const Table& table, double f);
+  Random RngFor(const std::string& key) const;
+
+  const uint64_t seed_;
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Table>> samples_;
   uint64_t rows_scanned_ = 0;
 };

@@ -37,7 +37,7 @@ class IntegrationTest : public ::testing::Test {
                                              SizeEstimationOptions{});
   }
 
-  AdvisorResult Run(AdvisorOptions options, double budget_frac) {
+  AdvisorResult Run(const AdvisorOptions& options, double budget_frac) {
     Advisor advisor(db_, *optimizer_, sizes_.get(), mvs_.get(), options);
     return advisor.Tune(workload_,
                         budget_frac * static_cast<double>(db_.BaseDataBytes()));
