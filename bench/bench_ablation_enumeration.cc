@@ -31,6 +31,26 @@ void Run() {
                        {"D+Backtr", density_back}});
   std::printf("\nExpected: density competitive at tight budgets, weaker at "
               "large ones; backtracking helps both.\n");
+
+  // What-if work accounting at one mid-range budget: how much of each
+  // strategy's search traffic the per-statement cost cache absorbs.
+  PrintHeader("What-if calls and cost-cache savings (budget 8%)");
+  std::printf("%-10s %12s %12s %12s %10s\n", "variant", "what-if",
+              "computed", "cached", "saved");
+  for (const auto& [name, options] :
+       std::vector<std::pair<std::string, AdvisorOptions>>{
+           {"Greedy", pure},
+           {"Density", density},
+           {"G+Backtr", back},
+           {"D+Backtr", density_back}}) {
+    const AdvisorResult r = s.Tune(options, 0.08, w);
+    const size_t costings = r.stmt_costs_computed + r.stmt_costs_cached;
+    std::printf("%-10s %12zu %12zu %12zu %9.1fx\n", name.c_str(),
+                r.what_if_calls, r.stmt_costs_computed, r.stmt_costs_cached,
+                static_cast<double>(costings) /
+                    static_cast<double>(
+                        std::max<size_t>(r.stmt_costs_computed, 1)));
+  }
 }
 
 }  // namespace

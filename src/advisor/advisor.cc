@@ -20,10 +20,27 @@ double Advisor::ChargedBytes(const Configuration& config) const {
   return charged;
 }
 
+ThreadPool* Advisor::Pool() const {
+  if (options_.num_threads == 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return pool_.get();
+}
+
 double Advisor::WorkloadCost(const Workload& workload,
                              const Configuration& config,
+                             StatementCostCache* cost_cache,
                              AdvisorResult* result) const {
-  if (result != nullptr) result->what_if_calls += workload.statements.size();
+  if (result != nullptr) {
+    result->what_if_calls += workload.statements.size();
+    // Cached costings are tallied from the cache's own counters at the end
+    // of Tune; only uncached costing is known to run the optimizer here.
+    if (cost_cache == nullptr) {
+      result->stmt_costs_computed += workload.statements.size();
+    }
+  }
+  if (cost_cache != nullptr) return cost_cache->WorkloadCost(config);
   return optimizer_->WorkloadCost(workload, config);
 }
 
@@ -80,11 +97,21 @@ std::map<std::string, PhysicalIndexEstimate> Advisor::EstimateSizes(
 std::vector<IndexDef> Advisor::SelectCandidates(
     const Workload& workload, const std::vector<IndexDef>& candidates,
     const std::map<std::string, PhysicalIndexEstimate>& sizes,
-    AdvisorResult* result) const {
+    StatementCostCache* cost_cache, AdvisorResult* result) const {
   std::vector<IndexDef> selected;
   std::set<std::string> kept;
 
-  for (const Statement& stmt : workload.statements) {
+  auto stmt_cost = [&](size_t stmt_index, const Configuration& config) {
+    if (result != nullptr && cost_cache == nullptr) {
+      ++result->stmt_costs_computed;
+    }
+    return cost_cache != nullptr
+               ? cost_cache->Cost(stmt_index, config)
+               : optimizer_->Cost(workload.statements[stmt_index], config);
+  };
+
+  for (size_t si = 0; si < workload.statements.size(); ++si) {
+    const Statement& stmt = workload.statements[si];
     if (stmt.type != StatementType::kSelect) continue;
     // Cost each single-index configuration for this query.
     struct Entry {
@@ -94,13 +121,13 @@ std::vector<IndexDef> Advisor::SelectCandidates(
     };
     std::vector<Entry> entries;
     const Configuration empty;
-    const double base_cost = optimizer_->Cost(stmt, empty);
+    const double base_cost = stmt_cost(si, empty);
     for (const IndexDef& def : candidates) {
       const auto it = sizes.find(def.Signature());
       CAPD_CHECK(it != sizes.end());
       Configuration config;
       config.Add(it->second);
-      const double cost = optimizer_->Cost(stmt, config);
+      const double cost = stmt_cost(si, config);
       if (result != nullptr) ++result->what_if_calls;
       if (cost >= base_cost) continue;  // irrelevant to this query
       // Size dimension of the skyline is the *budget charge*: a clustered
@@ -144,9 +171,10 @@ std::vector<IndexDef> Advisor::SelectCandidates(
 Configuration Advisor::Enumerate(
     const Workload& workload, const std::vector<IndexDef>& pool,
     const std::map<std::string, PhysicalIndexEstimate>& sizes,
-    double budget_bytes, AdvisorResult* result) const {
+    double budget_bytes, StatementCostCache* cost_cache,
+    AdvisorResult* result) const {
   Configuration config;
-  double current_cost = WorkloadCost(workload, config, result);
+  double current_cost = WorkloadCost(workload, config, cost_cache, result);
 
   auto size_of = [&sizes](const IndexDef& def) -> const PhysicalIndexEstimate& {
     const auto it = sizes.find(def.Signature());
@@ -154,22 +182,54 @@ Configuration Advisor::Enumerate(
     return it->second;
   };
 
+  // Trial costing, callable from pool workers (the cache and the optimizer
+  // are both thread-safe). what_if accounting happens serially afterwards
+  // so AdvisorResult is never touched concurrently.
+  auto trial_cost = [&](const Configuration& trial) {
+    return cost_cache != nullptr ? cost_cache->WorkloadCost(trial)
+                                 : optimizer_->WorkloadCost(workload, trial);
+  };
+  auto charge_calls = [&](size_t trials) {
+    if (result == nullptr) return;
+    result->what_if_calls += trials * workload.statements.size();
+    if (cost_cache == nullptr) {
+      result->stmt_costs_computed += trials * workload.statements.size();
+    }
+  };
+  ThreadPool* workers = Pool();
+
   while (true) {
-    // Evaluate every addable candidate.
+    // Evaluate every addable candidate. The trials are independent, so
+    // they fan out across the pool; the reduction below walks them in pool
+    // order with the same comparisons as the serial loop, which makes the
+    // parallel result bit-identical at any thread count.
+    std::vector<size_t> addable;
+    addable.reserve(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (CanAdd(config, pool[i])) addable.push_back(i);
+    }
+    const std::vector<double> trial_costs =
+        ParallelMap<double>(workers, addable.size(), [&](size_t k) {
+          Configuration trial = config;
+          trial.Add(size_of(pool[addable[k]]));
+          return trial_cost(trial);
+        });
+    charge_calls(addable.size());
+
     int best_fit = -1;       // best candidate that fits the budget
     double best_fit_score = 0.0;
     double best_fit_cost = current_cost;
     int best_any = -1;       // best candidate ignoring the budget
     double best_any_benefit = 0.0;
 
-    for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t k = 0; k < addable.size(); ++k) {
+      const size_t i = addable[k];
       const IndexDef& def = pool[i];
-      if (!CanAdd(config, def)) continue;
-      Configuration trial = config;
-      trial.Add(size_of(def));
-      const double cost = WorkloadCost(workload, trial, result);
+      const double cost = trial_costs[k];
       const double benefit = current_cost - cost;
       if (benefit <= 1e-9) continue;
+      Configuration trial = config;
+      trial.Add(size_of(def));
       const bool fits = ChargedBytes(trial) <= budget_bytes;
       const double score =
           options_.enumeration == EnumerationMode::kDensityGreedy
@@ -205,8 +265,11 @@ Configuration Advisor::Enumerate(
         double best_recovered_cost = std::numeric_limits<double>::infinity();
         Configuration work = oversized;
         for (int round = 0; round < 8; ++round) {
-          int fit_swap_member = -1, fit_swap_repl = -1;
-          double fit_swap_cost = std::numeric_limits<double>::infinity();
+          // Viable swaps are gathered serially (cheap size/signature
+          // checks), the in-budget ones are what-if costed across the
+          // pool, and the winner is reduced in (member, replacement) scan
+          // order — the exact tie-breaking of the serial loop.
+          std::vector<Configuration> fit_swaps;
           int reduce_member = -1, reduce_repl = -1;
           double reduce_amount = 0.0;
           const auto& members = work.indexes();
@@ -223,12 +286,7 @@ Configuration Advisor::Enumerate(
               CAPD_CHECK(trial.Remove(member.def.Signature()));
               trial.Add(repl_est);
               if (ChargedBytes(trial) <= budget_bytes) {
-                const double cost = WorkloadCost(workload, trial, result);
-                if (cost < fit_swap_cost) {
-                  fit_swap_cost = cost;
-                  fit_swap_member = m;
-                  fit_swap_repl = p;
-                }
+                fit_swaps.push_back(std::move(trial));
               } else if (member.bytes - repl_est.bytes > reduce_amount) {
                 reduce_amount = member.bytes - repl_est.bytes;
                 reduce_member = m;
@@ -236,13 +294,23 @@ Configuration Advisor::Enumerate(
               }
             }
           }
-          if (fit_swap_member >= 0) {
-            Configuration trial = work;
-            CAPD_CHECK(trial.Remove(members[fit_swap_member].def.Signature()));
-            trial.Add(size_of(pool[fit_swap_repl]));
+          const std::vector<double> swap_costs =
+              ParallelMap<double>(workers, fit_swaps.size(), [&](size_t k) {
+                return trial_cost(fit_swaps[k]);
+              });
+          charge_calls(fit_swaps.size());
+          int fit_swap = -1;
+          double fit_swap_cost = std::numeric_limits<double>::infinity();
+          for (size_t k = 0; k < fit_swaps.size(); ++k) {
+            if (swap_costs[k] < fit_swap_cost) {
+              fit_swap_cost = swap_costs[k];
+              fit_swap = static_cast<int>(k);
+            }
+          }
+          if (fit_swap >= 0) {
             if (fit_swap_cost < best_recovered_cost) {
               best_recovered_cost = fit_swap_cost;
-              best_recovered = trial;
+              best_recovered = std::move(fit_swaps[fit_swap]);
             }
             break;
           }
@@ -283,9 +351,19 @@ AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
   std::map<std::string, PhysicalIndexEstimate> sizes =
       EstimateSizes(candidates, &result);
 
+  // The per-statement what-if cost cache lives for the whole run: nothing
+  // within one Tune invalidates a statement cost (database and sizes are
+  // fixed), and the single-index costings of candidate selection double as
+  // warm-up for the first enumeration step.
+  std::unique_ptr<StatementCostCache> cost_cache;
+  if (options_.cost_cache) {
+    cost_cache =
+        std::make_unique<StatementCostCache>(*db_, *optimizer_, workload);
+  }
+
   // 3. Per-query candidate selection (top-k or skyline).
   std::vector<IndexDef> selected =
-      SelectCandidates(workload, candidates, sizes, &result);
+      SelectCandidates(workload, candidates, sizes, cost_cache.get(), &result);
 
   // 4. Index merging over the selected pool.
   if (options_.enable_merging) {
@@ -307,10 +385,16 @@ AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
 
   // 5. Enumeration.
   const Configuration empty;
-  result.initial_cost = WorkloadCost(workload, empty, &result);
-  result.config = Enumerate(workload, selected, sizes, budget_bytes, &result);
-  result.final_cost = WorkloadCost(workload, result.config, &result);
+  result.initial_cost = WorkloadCost(workload, empty, cost_cache.get(), &result);
+  result.config = Enumerate(workload, selected, sizes, budget_bytes,
+                            cost_cache.get(), &result);
+  result.final_cost =
+      WorkloadCost(workload, result.config, cost_cache.get(), &result);
   result.charged_bytes = ChargedBytes(result.config);
+  if (cost_cache != nullptr) {
+    result.stmt_costs_computed += cost_cache->misses();
+    result.stmt_costs_cached += cost_cache->hits();
+  }
   return result;
 }
 
@@ -335,7 +419,7 @@ AdvisorResult Advisor::TuneStagedBaseline(const Workload& workload,
     config.Add(sizes.at(def.Signature()));
   }
   result.config = config;
-  result.final_cost = WorkloadCost(workload, config, &result);
+  result.final_cost = WorkloadCost(workload, config, nullptr, &result);
   result.charged_bytes = ChargedBytes(config);
   return result;
 }

@@ -6,12 +6,15 @@
 #define CAPD_ADVISOR_ADVISOR_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "advisor/advisor_options.h"
 #include "advisor/candidates.h"
+#include "common/thread_pool.h"
 #include "estimator/size_estimator.h"
+#include "optimizer/cost_cache.h"
 #include "optimizer/what_if.h"
 
 namespace capd {
@@ -28,7 +31,14 @@ struct AdvisorResult {
   size_t num_candidates = 0;
   size_t num_sampled = 0;
   size_t num_deduced = 0;
-  size_t what_if_calls = 0;
+  size_t what_if_calls = 0;  // logical per-statement cost requests
+
+  // Cost-cache accounting over every statement costing the search issued
+  // (candidate selection and enumeration): how many ran the optimizer vs.
+  // were served from the per-statement cost cache. With the cache off,
+  // every costing is computed.
+  size_t stmt_costs_computed = 0;
+  size_t stmt_costs_cached = 0;
 
   // Paper's headline metric: % improvement over the initial database.
   double improvement_percent() const {
@@ -68,28 +78,39 @@ class Advisor {
       const std::vector<IndexDef>& candidates, AdvisorResult* result);
 
   // Per-query candidate selection: keep candidates that appear in the
-  // query's top-k configurations or on its size/cost skyline.
+  // query's top-k configurations or on its size/cost skyline. The
+  // single-index costings go through `cost_cache` (may be null), where
+  // they double as warm-up for the first enumeration step.
   std::vector<IndexDef> SelectCandidates(
       const Workload& workload, const std::vector<IndexDef>& candidates,
       const std::map<std::string, PhysicalIndexEstimate>& sizes,
-      AdvisorResult* result) const;
+      StatementCostCache* cost_cache, AdvisorResult* result) const;
 
-  // Greedy enumeration with optional backtracking.
+  // Greedy enumeration with optional backtracking. `cost_cache` may be
+  // null (uncached costing); trial evaluations run on Pool() when the
+  // options enable enumeration threads.
   Configuration Enumerate(
       const Workload& workload, const std::vector<IndexDef>& pool,
       const std::map<std::string, PhysicalIndexEstimate>& sizes,
-      double budget_bytes, AdvisorResult* result) const;
+      double budget_bytes, StatementCostCache* cost_cache,
+      AdvisorResult* result) const;
 
   double WorkloadCost(const Workload& workload, const Configuration& config,
+                      StatementCostCache* cost_cache,
                       AdvisorResult* result) const;
 
   bool CanAdd(const Configuration& config, const IndexDef& def) const;
+
+  // Enumeration thread pool (created on first use, reused across rounds);
+  // null when options_.num_threads == 1.
+  ThreadPool* Pool() const;
 
   const Database* db_;
   const WhatIfOptimizer* optimizer_;
   SizeEstimator* sizes_;
   MVRegistry* mvs_;
   AdvisorOptions options_;
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace capd

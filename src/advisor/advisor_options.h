@@ -32,6 +32,19 @@ struct AdvisorOptions {
   EnumerationMode enumeration = EnumerationMode::kGreedy;
   bool backtracking = true;  // Section 6.2 oversize recovery
 
+  // --- search-loop performance knobs ---
+  // Worker threads for Enumerate's independent what-if trial evaluations
+  // (the main candidate loop and the backtracking swap search). 1 = serial,
+  // 0 = hardware concurrency. Results are bit-identical at any thread
+  // count: trials are reduced serially in pool order. Independent of
+  // size_options.num_threads (the estimation pool).
+  int num_threads = 1;
+  // Per-statement what-if cost cache: adding an index only changes the
+  // cost of statements touching its object, so unchanged statements reuse
+  // cached costs across trials (bit-identical to uncached costing). The
+  // hit/miss counts land in AdvisorResult::stmt_costs_{cached,computed}.
+  bool cost_cache = true;
+
   bool enable_clustered = true;
   bool enable_partial = false;  // partial-index candidates
   bool enable_mv = false;       // MV + MV-index candidates

@@ -1,5 +1,6 @@
 #include "advisor/report.h"
 
+#include <algorithm>
 #include <cctype>
 #include <set>
 #include <sstream>
@@ -139,6 +140,18 @@ std::string RenderTuningReport(const AdvisorResult& result,
                 "search:          %zu candidates, %zu what-if calls\n",
                 result.num_candidates, result.what_if_calls);
   os << line;
+  const size_t costings =
+      result.stmt_costs_computed + result.stmt_costs_cached;
+  if (costings > 0) {
+    std::snprintf(line, sizeof(line),
+                  "what-if cache:   %zu statement costings computed, "
+                  "%zu cache-served (%.1fx saved)\n",
+                  result.stmt_costs_computed, result.stmt_costs_cached,
+                  static_cast<double>(costings) /
+                      static_cast<double>(
+                          std::max<size_t>(result.stmt_costs_computed, 1)));
+    os << line;
+  }
   std::snprintf(line, sizeof(line),
                 "size estimation: f=%.1f%%, %.0f sample pages, "
                 "%zu sampled / %zu deduced\n",

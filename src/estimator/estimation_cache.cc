@@ -10,6 +10,29 @@ std::string EstimationCache::Key(const std::string& signature, double f) {
   return signature + buf;
 }
 
+size_t EstimationCache::EntryBytes(const std::string& key) {
+  // Approximation: the key is stored twice (map key + LRU list node), plus
+  // the result payload and per-node container overhead.
+  constexpr size_t kNodeOverhead = 96;
+  return 2 * key.size() + sizeof(SampleCfResult) + kNodeOverhead;
+}
+
+void EstimationCache::TouchLocked(const Entry& entry) const {
+  lru_.splice(lru_.begin(), lru_, entry.lru);
+}
+
+void EstimationCache::EvictOverCapacityLocked() {
+  if (capacity_bytes_ == 0) return;
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    const auto it = entries_.find(victim);
+    bytes_ -= EntryBytes(victim);
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
 std::optional<SampleCfResult> EstimationCache::Lookup(
     const std::string& signature, double f) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -19,7 +42,8 @@ std::optional<SampleCfResult> EstimationCache::Lookup(
     return std::nullopt;
   }
   ++hits_;
-  return it->second;
+  TouchLocked(it->second);
+  return it->second.result;
 }
 
 std::optional<SampleCfResult> EstimationCache::LookupBest(
@@ -29,7 +53,8 @@ std::optional<SampleCfResult> EstimationCache::LookupBest(
     const auto entry = entries_.find(Key(signature, *it));
     if (entry != entries_.end()) {
       ++hits_;
-      return entry->second;
+      TouchLocked(entry->second);
+      return entry->second.result;
     }
   }
   ++misses_;
@@ -39,14 +64,43 @@ std::optional<SampleCfResult> EstimationCache::LookupBest(
 void EstimationCache::Insert(const std::string& signature, double f,
                              const SampleCfResult& r) {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_[Key(signature, f)] = r;
+  const std::string key = Key(signature, f);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.result = r;
+    TouchLocked(it->second);
+    return;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{r, lru_.begin()};
+  bytes_ += EntryBytes(key);
+  EvictOverCapacityLocked();
+}
+
+void EstimationCache::set_capacity_bytes(size_t capacity_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_bytes_ = capacity_bytes;
+  EvictOverCapacityLocked();
+}
+
+size_t EstimationCache::capacity_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_bytes_;
+}
+
+size_t EstimationCache::charged_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 void EstimationCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 size_t EstimationCache::size() const {
@@ -62,6 +116,11 @@ uint64_t EstimationCache::hits() const {
 uint64_t EstimationCache::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+uint64_t EstimationCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 }  // namespace capd

@@ -5,10 +5,16 @@
 // advisor runtime (Figure 11). Entries are keyed by IndexDef signature +
 // sampling fraction, so a hit reproduces exactly what a fresh SampleCF or
 // deduction at that fraction would have produced.
+//
+// Optionally memory-bounded: with a capacity, entries are evicted in
+// least-recently-used order (lookups and inserts refresh recency), so
+// hundred-thousand-candidate workloads cannot grow the cache without
+// limit. Capacity 0 (the default) means unbounded.
 #ifndef CAPD_ESTIMATOR_ESTIMATION_CACHE_H_
 #define CAPD_ESTIMATOR_ESTIMATION_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -21,6 +27,10 @@ namespace capd {
 
 class EstimationCache {
  public:
+  // capacity_bytes bounds the (approximate) memory footprint; 0 = no bound.
+  explicit EstimationCache(size_t capacity_bytes = 0)
+      : capacity_bytes_(capacity_bytes) {}
+
   // Estimate of `signature` produced at sampling fraction f, if cached.
   std::optional<SampleCfResult> Lookup(const std::string& signature,
                                        double f) const;
@@ -35,18 +45,41 @@ class EstimationCache {
 
   void Insert(const std::string& signature, double f, const SampleCfResult& r);
 
+  // Changing the capacity evicts immediately if the cache is over it.
+  void set_capacity_bytes(size_t capacity_bytes);
+  size_t capacity_bytes() const;
+  // Approximate bytes currently held (keys + results + container overhead).
+  size_t charged_bytes() const;
+
   void Clear();
   size_t size() const;
   uint64_t hits() const;
   uint64_t misses() const;
+  uint64_t evictions() const;
 
  private:
+  struct Entry {
+    SampleCfResult result;
+    // Position in lru_; stable across splices.
+    std::list<std::string>::iterator lru;
+  };
+
   static std::string Key(const std::string& signature, double f);
+  static size_t EntryBytes(const std::string& key);
+
+  // All require mu_ held.
+  void TouchLocked(const Entry& entry) const;
+  void EvictOverCapacityLocked();
 
   mutable std::mutex mu_;
   mutable uint64_t hits_ = 0;
   mutable uint64_t misses_ = 0;
-  std::map<std::string, SampleCfResult> entries_;
+  uint64_t evictions_ = 0;
+  size_t capacity_bytes_ = 0;
+  size_t bytes_ = 0;
+  // Front = most recently used. Mutable: lookups refresh recency.
+  mutable std::list<std::string> lru_;
+  std::map<std::string, Entry> entries_;
 };
 
 }  // namespace capd

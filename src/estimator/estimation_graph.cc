@@ -149,11 +149,15 @@ void EstimationGraph::GenerateDeductionsFor(size_t node_id) {
   }
 }
 
-void EstimationGraph::RefreshCosts(double f) {
-  for (IndexNode& node : nodes_) {
+void EstimationGraph::RefreshCosts(double f, ThreadPool* pool) {
+  // Each probe scans the object's sample once (filter hit counting); the
+  // probes are independent and the shared sample caches are thread-safe,
+  // so they batch across the pool. Writes go to disjoint nodes.
+  ParallelFor(pool, nodes_.size(), [&](size_t i) {
+    IndexNode& node = nodes_[i];
     node.cost_pages =
         node.is_existing ? 0.0 : sampler_.PredictCostPages(node.def, f);
-  }
+  });
 }
 
 ErrorStats EstimationGraph::NodeError(size_t i, double f) const {
@@ -197,8 +201,8 @@ double EstimationGraph::TotalSampledCost() const {
   return cost;
 }
 
-double EstimationGraph::AllSampledCost(double f) {
-  RefreshCosts(f);
+double EstimationGraph::AllSampledCost(double f, ThreadPool* pool) {
+  RefreshCosts(f, pool);
   double cost = 0.0;
   for (const IndexNode& node : nodes_) {
     if (node.is_target && !node.is_existing) cost += node.cost_pages;
@@ -206,9 +210,9 @@ double EstimationGraph::AllSampledCost(double f) {
   return cost;
 }
 
-double EstimationGraph::SampleAllTargets(double f) {
+double EstimationGraph::SampleAllTargets(double f, ThreadPool* pool) {
   ResetStates();
-  RefreshCosts(f);
+  RefreshCosts(f, pool);
   for (IndexNode& node : nodes_) {
     if (node.is_target && node.state == NodeState::kNone) {
       node.state = NodeState::kSampled;
@@ -243,9 +247,10 @@ void EstimationGraph::PruneUnused() {
   }
 }
 
-double EstimationGraph::Greedy(double f, double e, double q) {
+double EstimationGraph::Greedy(double f, double e, double q,
+                               ThreadPool* pool) {
   ResetStates();
-  RefreshCosts(f);
+  RefreshCosts(f, pool);
 
   // Narrow to wide over targets.
   std::vector<size_t> targets;
@@ -438,9 +443,10 @@ void EstimationGraph::OptimalRecurse(const std::vector<size_t>& order,
   }
 }
 
-double EstimationGraph::Optimal(double f, double e, double q) {
+double EstimationGraph::Optimal(double f, double e, double q,
+                                ThreadPool* pool) {
   ResetStates();
-  RefreshCosts(f);
+  RefreshCosts(f, pool);
   std::vector<size_t> order(nodes_.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   // Widest first so deduction children (narrower) are decided after their
@@ -457,7 +463,7 @@ double EstimationGraph::Optimal(double f, double e, double q) {
     nodes_ = std::move(best_assignment);
     // Final verification pass: if the lazily-composed errors violate the
     // constraint, fall back to greedy (which never does worse than All).
-    if (!AssignmentSatisfies(e, q, f)) return Greedy(f, e, q);
+    if (!AssignmentSatisfies(e, q, f)) return Greedy(f, e, q, pool);
   }
   return best_cost;
 }
@@ -469,28 +475,51 @@ std::map<std::string, SampleCfResult> EstimationGraph::Execute(double f,
 
   // Phase 1: SAMPLED nodes are independent of each other — these are the
   // leaves of every deduction chain and carry the index-build cost, so
-  // they are the parallel section.
-  std::vector<size_t> sampled;
+  // they are the parallel section. Compression variants of one structure
+  // are grouped so they share the materialized sample rows and the
+  // uncompressed reference pack (one materialize, N compressed packs);
+  // existing (catalog-served) nodes stay singleton groups.
+  std::vector<std::vector<size_t>> groups;
+  std::map<std::string, size_t> group_of;  // structure signature -> group
   for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].state == NodeState::kSampled) sampled.push_back(i);
+    if (nodes_[i].state != NodeState::kSampled) continue;
+    if (nodes_[i].is_existing) {
+      groups.push_back({i});
+      continue;
+    }
+    const std::string key = nodes_[i].def.StructureSignature();
+    const auto it = group_of.find(key);
+    if (it == group_of.end()) {
+      group_of[key] = groups.size();
+      groups.push_back({i});
+    } else {
+      groups[it->second].push_back(i);
+    }
   }
-  std::vector<SampleCfResult> sampled_results =
-      ParallelMap<SampleCfResult>(pool, sampled.size(), [&](size_t k) {
-        const IndexNode& node = nodes_[sampled[k]];
-        if (node.is_existing) {
-          SampleCfResult r;
-          r.est_bytes = static_cast<double>(
-              db_->existing_index_bytes().at(node.def.Signature()));
-          r.est_tuples = sampler_.EstimateFullTuples(node.def, f);
-          r.est_uncompressed_bytes =
-              sampler_.UncompressedFullBytes(node.def, r.est_tuples);
-          r.cf = r.est_bytes / std::max(1.0, r.est_uncompressed_bytes);
-          return r;
-        }
-        return sampler_.Estimate(node.def, f);
-      });
-  for (size_t k = 0; k < sampled.size(); ++k) {
-    results[nodes_[sampled[k]].def.Signature()] = sampled_results[k];
+  std::vector<std::vector<SampleCfResult>> group_results =
+      ParallelMap<std::vector<SampleCfResult>>(
+          pool, groups.size(), [&](size_t g) -> std::vector<SampleCfResult> {
+            const std::vector<size_t>& members = groups[g];
+            const IndexNode& first = nodes_[members.front()];
+            if (first.is_existing) {
+              SampleCfResult r;
+              r.est_bytes = static_cast<double>(
+                  db_->existing_index_bytes().at(first.def.Signature()));
+              r.est_tuples = sampler_.EstimateFullTuples(first.def, f);
+              r.est_uncompressed_bytes =
+                  sampler_.UncompressedFullBytes(first.def, r.est_tuples);
+              r.cf = r.est_bytes / std::max(1.0, r.est_uncompressed_bytes);
+              return {r};
+            }
+            std::vector<IndexDef> defs;
+            defs.reserve(members.size());
+            for (size_t m : members) defs.push_back(nodes_[m].def);
+            return sampler_.EstimateGroup(defs, f);
+          });
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t m = 0; m < groups[g].size(); ++m) {
+      results[nodes_[groups[g][m]].def.Signature()] = group_results[g][m];
+    }
   }
 
   // Phase 2: DEDUCED nodes compose their children's results via the

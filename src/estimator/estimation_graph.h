@@ -50,18 +50,20 @@ class EstimationGraph {
   void AddTargets(const std::vector<IndexDef>& targets);
 
   // Section 5.2 greedy. Assigns states; returns total sampling cost in
-  // pages. e/q per Section 5.1.
-  double Greedy(double f, double e, double q);
+  // pages. e/q per Section 5.1. With a pool, the per-node PredictCostPages
+  // probes (one sample scan each) are batched across the workers; the
+  // state assignment itself stays serial and is bit-identical either way.
+  double Greedy(double f, double e, double q, ThreadPool* pool = nullptr);
 
   // Appendix D exact search (exponential; small graphs only). Returns the
   // optimal total cost and applies the optimal assignment.
-  double Optimal(double f, double e, double q);
+  double Optimal(double f, double e, double q, ThreadPool* pool = nullptr);
 
   // Baseline: SampleCF on every target.
-  double AllSampledCost(double f);
+  double AllSampledCost(double f, ThreadPool* pool = nullptr);
   // Assigns SAMPLED to every target (the "w/o deduction" plan); returns the
   // total cost.
-  double SampleAllTargets(double f);
+  double SampleAllTargets(double f, ThreadPool* pool = nullptr);
 
   // True if, under the current assignment, every target's composed error
   // satisfies P(within e) >= q — or is at least as good as plain sampling
@@ -97,7 +99,7 @@ class EstimationGraph {
   void GenerateDeductionsFor(size_t node_id);
   void PruneUnused();
   double TotalSampledCost() const;
-  void RefreshCosts(double f);
+  void RefreshCosts(double f, ThreadPool* pool);
 
   // Recursive helper for Optimal(): decides the next required-but-undecided
   // node in `order`; `required` marks nodes that must become known.

@@ -2,50 +2,73 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/logging.h"
 
 namespace capd {
 
 SampleCfResult SampleCfEstimator::Estimate(const IndexDef& def, double f) {
-  const Table& sample = source_->Sample(def.object, f);
+  return EstimateGroup({def}, f).front();
+}
+
+std::vector<SampleCfResult> SampleCfEstimator::EstimateGroup(
+    const std::vector<IndexDef>& defs, double f) {
+  CAPD_CHECK(!defs.empty());
+  const Table& sample = source_->Sample(defs.front().object, f);
   IndexBuilder builder(sample);
 
-  const std::vector<Row> rows = builder.MaterializeRows(def);
-  const IndexPhysical compressed = builder.Pack(def, rows);
+  // The structure (object/keys/includes/filter/clustered-ness) is shared,
+  // so the materialized rows and the uncompressed reference pack are too.
+  const std::vector<Row> rows = builder.MaterializeRows(defs.front());
   const IndexPhysical plain =
-      builder.Pack(def.WithCompression(CompressionKind::kNone), rows);
+      builder.Pack(defs.front().WithCompression(CompressionKind::kNone), rows);
+  // The ORD-DEP estimate needs the null-suppression (kRow) pack as its
+  // order-independent baseline; computed once for the whole group, lazily.
+  std::optional<IndexPhysical> ns;
 
-  SampleCfResult result;
-  // Byte-granularity ratio: page counts quantize to 1 page on small
-  // samples and would hide the compression entirely.
-  result.cf = static_cast<double>(compressed.fine_bytes()) /
-              static_cast<double>(std::max<uint64_t>(plain.fine_bytes(), 1));
-  result.cost_pages = static_cast<double>(plain.data_pages);
-
-  // Scale tuples: the filter's hit rate on the sample applied to the full
-  // object's (estimated) tuple count.
   const double sample_rows = static_cast<double>(sample.num_rows());
-  const double full_rows = source_->FullTuples(def.object);
-  double filter_frac = 1.0;
-  if (def.filter.has_value() && sample_rows > 0) {
-    filter_frac = static_cast<double>(rows.size()) / sample_rows;
-  }
-  result.est_tuples = full_rows * filter_frac;
+  const double full_rows = source_->FullTuples(defs.front().object);
 
-  result.est_uncompressed_bytes = UncompressedFullBytes(def, result.est_tuples);
-  result.est_bytes = result.est_uncompressed_bytes * result.cf;
-  if (IsOrderDependent(def.compression)) {
-    const IndexPhysical ns =
-        builder.Pack(def.WithCompression(CompressionKind::kRow), rows);
-    const double cf_ns =
-        static_cast<double>(ns.fine_bytes()) /
-        static_cast<double>(std::max<uint64_t>(plain.fine_bytes(), 1));
-    result.est_ns_bytes = result.est_uncompressed_bytes * cf_ns;
-  } else {
-    result.est_ns_bytes = result.est_bytes;
+  std::vector<SampleCfResult> results;
+  results.reserve(defs.size());
+  for (const IndexDef& def : defs) {
+    CAPD_CHECK(def.StructureSignature() == defs.front().StructureSignature())
+        << def.ToString() << " vs " << defs.front().ToString();
+    const IndexPhysical compressed = builder.Pack(def, rows);
+
+    SampleCfResult result;
+    // Byte-granularity ratio: page counts quantize to 1 page on small
+    // samples and would hide the compression entirely.
+    result.cf = static_cast<double>(compressed.fine_bytes()) /
+                static_cast<double>(std::max<uint64_t>(plain.fine_bytes(), 1));
+    result.cost_pages = static_cast<double>(plain.data_pages);
+
+    // Scale tuples: the filter's hit rate on the sample applied to the full
+    // object's (estimated) tuple count.
+    double filter_frac = 1.0;
+    if (def.filter.has_value() && sample_rows > 0) {
+      filter_frac = static_cast<double>(rows.size()) / sample_rows;
+    }
+    result.est_tuples = full_rows * filter_frac;
+
+    result.est_uncompressed_bytes =
+        UncompressedFullBytes(def, result.est_tuples);
+    result.est_bytes = result.est_uncompressed_bytes * result.cf;
+    if (IsOrderDependent(def.compression)) {
+      if (!ns.has_value()) {
+        ns = builder.Pack(def.WithCompression(CompressionKind::kRow), rows);
+      }
+      const double cf_ns =
+          static_cast<double>(ns->fine_bytes()) /
+          static_cast<double>(std::max<uint64_t>(plain.fine_bytes(), 1));
+      result.est_ns_bytes = result.est_uncompressed_bytes * cf_ns;
+    } else {
+      result.est_ns_bytes = result.est_bytes;
+    }
+    results.push_back(result);
   }
-  return result;
+  return results;
 }
 
 double SampleCfEstimator::UncompressedFullBytes(const IndexDef& def,

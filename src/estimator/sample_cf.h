@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "catalog/database.h"
 #include "index/index_builder.h"
@@ -75,6 +76,15 @@ class SampleCfEstimator {
   // Runs SampleCF for `def` at sampling fraction f: builds the index (and
   // its uncompressed twin) on the object's sample and scales up.
   SampleCfResult Estimate(const IndexDef& def, double f);
+
+  // SampleCF for several compression variants of ONE structure (all defs
+  // must share StructureSignature()): the materialized sample rows, the
+  // uncompressed reference pack and the null-suppression pack are computed
+  // once and shared, so a group of N variants costs one materialize +
+  // one plain pack + N compressed packs instead of N of each. Results are
+  // bit-identical to calling Estimate() per def. Output in input order.
+  std::vector<SampleCfResult> EstimateGroup(const std::vector<IndexDef>& defs,
+                                            double f);
 
   // Deterministic uncompressed full size (no sampling needed: fixed row
   // width). `tuples` defaults to the full object row count adjusted by the

@@ -60,13 +60,13 @@ SizeEstimator::BatchResult SizeEstimator::EstimateAll(
     // does — matching the paper's "even All misses it" tolerance).
     double best_f = options_.fractions.back();
     for (double f : options_.fractions) {
-      graph.SampleAllTargets(f);
+      graph.SampleAllTargets(f, Pool());
       if (graph.AssignmentSatisfies(options_.e, options_.q, f)) {
         best_f = f;
         break;
       }
     }
-    result.total_cost_pages = graph.SampleAllTargets(best_f);
+    result.total_cost_pages = graph.SampleAllTargets(best_f, Pool());
     execute_plan(best_f);
     result.num_deduced = 0;
     return result;
@@ -81,7 +81,7 @@ SizeEstimator::BatchResult SizeEstimator::EstimateAll(
   double best_cost = std::numeric_limits<double>::infinity();
   double best_f = options_.fractions.back();
   for (double f : options_.fractions) {
-    const double cost = graph.Greedy(f, options_.e, options_.q);
+    const double cost = graph.Greedy(f, options_.e, options_.q, Pool());
     if (!graph.AssignmentSatisfies(options_.e, options_.q, f)) continue;
     if (cost < best_cost) {
       best_cost = cost;
@@ -89,7 +89,8 @@ SizeEstimator::BatchResult SizeEstimator::EstimateAll(
     }
   }
   // Re-run the winning plan (the graph holds the last run's states).
-  result.total_cost_pages = graph.Greedy(best_f, options_.e, options_.q);
+  result.total_cost_pages =
+      graph.Greedy(best_f, options_.e, options_.q, Pool());
   execute_plan(best_f);
   return result;
 }

@@ -32,6 +32,11 @@ struct SizeEstimationOptions {
   // fraction are reused instead of re-estimated (see estimation_cache.h).
   // Shared (and thread-safe), so one cache can serve several estimators.
   std::shared_ptr<EstimationCache> cache;
+  // Memory bound for `cache` (approximate bytes; 0 = unbounded). Applied
+  // to the cache at estimator construction — least-recently-used entries
+  // are evicted once the bound is exceeded, so hundred-thousand-candidate
+  // workloads cannot grow the cache without limit.
+  size_t cache_capacity_bytes = 0;
 };
 
 class SizeEstimator {
@@ -41,7 +46,11 @@ class SizeEstimator {
       : db_(&db),
         source_(source),
         model_(std::move(model)),
-        options_(std::move(options)) {}
+        options_(std::move(options)) {
+    if (options_.cache != nullptr && options_.cache_capacity_bytes > 0) {
+      options_.cache->set_capacity_bytes(options_.cache_capacity_bytes);
+    }
+  }
 
   struct BatchResult {
     std::map<std::string, SampleCfResult> estimates;  // by IndexDef signature

@@ -61,6 +61,7 @@ class WhatIfOptimizer {
 
   // `mv_matcher` may be null (MV indexes in the configuration are ignored).
   void set_mv_matcher(const MVMatcher* matcher) { mv_matcher_ = matcher; }
+  const MVMatcher* mv_matcher() const { return mv_matcher_; }
 
   // Optimizer-estimated cost of the statement under the configuration
   // (unweighted; callers apply Statement::weight).

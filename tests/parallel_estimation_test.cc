@@ -171,6 +171,63 @@ TEST_F(ParallelEstimationTest, CacheSharedAcrossEstimators) {
   EXPECT_GT(cache->hits(), 0u);
 }
 
+TEST(EstimationCacheTest, LruEvictsLeastRecentlyUsed) {
+  EstimationCache cache;
+  SampleCfResult r;
+  r.est_bytes = 1.0;
+  cache.Insert("a", 0.01, r);
+  const size_t per_entry = cache.charged_bytes();  // same-length keys below
+  cache.set_capacity_bytes(3 * per_entry);
+  cache.Insert("b", 0.01, r);
+  cache.Insert("c", 0.01, r);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Touch "a" so "b" becomes least recently used, then overflow.
+  EXPECT_TRUE(cache.Lookup("a", 0.01).has_value());
+  cache.Insert("d", 0.01, r);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Lookup("b", 0.01).has_value());
+  EXPECT_TRUE(cache.Lookup("a", 0.01).has_value());
+  EXPECT_TRUE(cache.Lookup("c", 0.01).has_value());
+  EXPECT_TRUE(cache.Lookup("d", 0.01).has_value());
+}
+
+TEST(EstimationCacheTest, ShrinkingCapacityEvictsImmediately) {
+  EstimationCache cache;  // unbounded by default
+  SampleCfResult r;
+  for (int i = 0; i < 8; ++i) {
+    cache.Insert("idx" + std::to_string(i), 0.01, r);
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  const size_t bytes_for_two = cache.charged_bytes() / 4;
+  cache.set_capacity_bytes(bytes_for_two);
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_LE(cache.charged_bytes(), bytes_for_two);
+  EXPECT_GE(cache.evictions(), 6u);
+  // The survivors are the most recently inserted.
+  EXPECT_TRUE(cache.Lookup("idx7", 0.01).has_value());
+}
+
+TEST_F(ParallelEstimationTest, CacheCapacityOptionBoundsTheCache) {
+  SizeEstimationOptions options;
+  options.cache = std::make_shared<EstimationCache>();
+  // A bound too small for even one entry: every insert is evicted again,
+  // so the cache never grows — the extreme case of the memory bound.
+  options.cache_capacity_bytes = 1;
+
+  SampleManager samples(1234);
+  TableSampleSource source(db_, &samples);
+  SizeEstimator estimator(db_, &source, ErrorModel(), options);
+  EXPECT_EQ(options.cache->capacity_bytes(), 1u);
+
+  const SizeEstimator::BatchResult batch = estimator.EstimateAll(Targets());
+  EXPECT_EQ(batch.estimates.size(), Targets().size());
+  EXPECT_EQ(options.cache->size(), 0u);
+  EXPECT_GT(options.cache->evictions(), 0u);
+}
+
 TEST(EstimationCacheTest, LookupBestPrefersLargestFraction) {
   EstimationCache cache;
   SampleCfResult coarse;
