@@ -1,9 +1,10 @@
 #include "advisor/advisor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <limits>
 #include <set>
-#include <cstdio>
 
 #include "common/logging.h"
 
@@ -44,6 +45,26 @@ double Advisor::WorkloadCost(const Workload& workload,
   return optimizer_->WorkloadCost(workload, config);
 }
 
+double Advisor::PooledWorkloadCost(const Workload& workload,
+                                   const Configuration& config,
+                                   AdvisorResult* result) const {
+  if (result != nullptr) {
+    result->what_if_calls += workload.statements.size();
+    result->stmt_costs_computed += workload.statements.size();
+  }
+  const std::vector<double> costs = ParallelMap<double>(
+      Pool(), workload.statements.size(), [&](size_t i) {
+        return optimizer_->Cost(workload.statements[i], config);
+      });
+  // Same weighted terms summed in the same statement order as
+  // WhatIfOptimizer::WorkloadCost — bit-identical at any thread count.
+  double total = 0.0;
+  for (size_t i = 0; i < workload.statements.size(); ++i) {
+    total += workload.statements[i].weight * costs[i];
+  }
+  return total;
+}
+
 bool Advisor::CanAdd(const Configuration& config, const IndexDef& def) const {
   if (config.Contains(def.Signature())) return false;
   // At most one clustered index per object.
@@ -60,18 +81,20 @@ bool Advisor::CanAdd(const Configuration& config, const IndexDef& def) const {
 std::map<std::string, PhysicalIndexEstimate> Advisor::EstimateSizes(
     const std::vector<IndexDef>& candidates, AdvisorResult* result) {
   std::map<std::string, PhysicalIndexEstimate> sizes;
+  std::vector<IndexDef> uncompressed;
   std::vector<IndexDef> compressed;
   for (const IndexDef& def : candidates) {
-    if (def.compression == CompressionKind::kNone) {
-      const SampleCfResult r = sizes_->UncompressedSize(def);
-      PhysicalIndexEstimate est;
-      est.def = def;
-      est.bytes = r.est_bytes;
-      est.tuples = r.est_tuples;
-      sizes[def.Signature()] = est;
-    } else {
-      compressed.push_back(def);
-    }
+    (def.compression == CompressionKind::kNone ? uncompressed : compressed)
+        .push_back(def);
+  }
+  const std::vector<SampleCfResult> plain =
+      sizes_->UncompressedSizeAll(uncompressed);
+  for (size_t i = 0; i < uncompressed.size(); ++i) {
+    PhysicalIndexEstimate est;
+    est.def = uncompressed[i];
+    est.bytes = plain[i].est_bytes;
+    est.tuples = plain[i].est_tuples;
+    sizes[uncompressed[i].Signature()] = est;
   }
   const SizeEstimator::BatchResult batch = sizes_->EstimateAll(compressed);
   for (const IndexDef& def : compressed) {
@@ -101,38 +124,62 @@ std::vector<IndexDef> Advisor::SelectCandidates(
   std::vector<IndexDef> selected;
   std::set<std::string> kept;
 
-  auto stmt_cost = [&](size_t stmt_index, const Configuration& config) {
-    if (result != nullptr && cost_cache == nullptr) {
-      ++result->stmt_costs_computed;
+  // Every costing the loop below needs is independent: per SELECT query,
+  // its base (empty-configuration) cost plus one single-index cost per
+  // candidate. Fan them all across the pool — concurrent misses warm the
+  // shared StatementCostCache for the first enumeration step — then reduce
+  // serially in (query, candidate) order so the selected pool matches the
+  // serial loop to the bit at any thread count.
+  std::vector<size_t> selects;
+  selects.reserve(workload.statements.size());
+  for (size_t si = 0; si < workload.statements.size(); ++si) {
+    if (workload.statements[si].type == StatementType::kSelect) {
+      selects.push_back(si);
     }
+  }
+  const size_t stride = 1 + candidates.size();  // base cost + one per index
+
+  auto stmt_cost = [&](size_t stmt_index, const Configuration& config) {
     return cost_cache != nullptr
                ? cost_cache->Cost(stmt_index, config)
                : optimizer_->Cost(workload.statements[stmt_index], config);
   };
+  const std::vector<double> costs =
+      ParallelMap<double>(Pool(), selects.size() * stride, [&](size_t j) {
+        const size_t si = selects[j / stride];
+        const size_t c = j % stride;
+        if (c == 0) return stmt_cost(si, Configuration());
+        const auto it = sizes.find(candidates[c - 1].Signature());
+        CAPD_CHECK(it != sizes.end());
+        Configuration config;
+        config.Add(it->second);
+        return stmt_cost(si, config);
+      });
+  if (result != nullptr) {
+    result->what_if_calls += selects.size() * candidates.size();
+    if (cost_cache == nullptr) {
+      result->stmt_costs_computed += selects.size() * stride;
+    }
+  }
 
-  for (size_t si = 0; si < workload.statements.size(); ++si) {
-    const Statement& stmt = workload.statements[si];
-    if (stmt.type != StatementType::kSelect) continue;
-    // Cost each single-index configuration for this query.
+  for (size_t q = 0; q < selects.size(); ++q) {
+    // Serial reduction over this query's precomputed costs.
     struct Entry {
       const IndexDef* def;
       double cost;
       double bytes;
     };
     std::vector<Entry> entries;
-    const Configuration empty;
-    const double base_cost = stmt_cost(si, empty);
-    for (const IndexDef& def : candidates) {
-      const auto it = sizes.find(def.Signature());
-      CAPD_CHECK(it != sizes.end());
-      Configuration config;
-      config.Add(it->second);
-      const double cost = stmt_cost(si, config);
-      if (result != nullptr) ++result->what_if_calls;
+    const double base_cost = costs[q * stride];
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const IndexDef& def = candidates[c];
+      const double cost = costs[q * stride + 1 + c];
       if (cost >= base_cost) continue;  // irrelevant to this query
       // Size dimension of the skyline is the *budget charge*: a clustered
       // index replaces the heap, so its effective footprint can be tiny (or
       // negative when compressed) even though the structure is large.
+      Configuration config;
+      config.Add(sizes.at(def.Signature()));
       entries.push_back(Entry{&def, cost, ChargedBytes(config)});
     }
 
@@ -343,13 +390,20 @@ Configuration Advisor::Enumerate(
 AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
   AdvisorResult result;
   CandidateGenerator generator(*db_, *optimizer_, mvs_, options_);
+  using Clock = std::chrono::steady_clock;
+  auto millis_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
 
   // 1. Syntactically relevant candidates + compressed variants.
+  auto t0 = Clock::now();
   std::vector<IndexDef> candidates = generator.GenerateForWorkload(workload);
 
   // 2. Size estimation for every candidate (Section 5 framework).
   std::map<std::string, PhysicalIndexEstimate> sizes =
       EstimateSizes(candidates, &result);
+  result.estimation_ms += millis_since(t0);
 
   // The per-statement what-if cost cache lives for the whole run: nothing
   // within one Tune invalidates a statement cost (database and sizes are
@@ -362,15 +416,19 @@ AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
   }
 
   // 3. Per-query candidate selection (top-k or skyline).
+  t0 = Clock::now();
   std::vector<IndexDef> selected =
       SelectCandidates(workload, candidates, sizes, cost_cache.get(), &result);
+  result.selection_ms += millis_since(t0);
 
   // 4. Index merging over the selected pool.
   if (options_.enable_merging) {
     std::vector<IndexDef> merged = generator.MergeCandidates(selected);
     if (!merged.empty()) {
+      t0 = Clock::now();
       const std::map<std::string, PhysicalIndexEstimate> merged_sizes =
           EstimateSizes(merged, &result);
+      result.estimation_ms += millis_since(t0);
       for (const IndexDef& def : merged) selected.push_back(def);
       for (const auto& [sig, est] : merged_sizes) sizes[sig] = est;
     }
@@ -384,6 +442,7 @@ AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
   }
 
   // 5. Enumeration.
+  t0 = Clock::now();
   const Configuration empty;
   result.initial_cost = WorkloadCost(workload, empty, cost_cache.get(), &result);
   result.config = Enumerate(workload, selected, sizes, budget_bytes,
@@ -391,6 +450,7 @@ AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
   result.final_cost =
       WorkloadCost(workload, result.config, cost_cache.get(), &result);
   result.charged_bytes = ChargedBytes(result.config);
+  result.enumeration_ms += millis_since(t0);
   if (cost_cache != nullptr) {
     result.stmt_costs_computed += cost_cache->misses();
     result.stmt_costs_cached += cost_cache->hits();
@@ -401,26 +461,38 @@ AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
 AdvisorResult Advisor::TuneStagedBaseline(const Workload& workload,
                                           double budget_bytes,
                                           CompressionKind kind) {
-  // Stage 1: classic tuning without compression.
+  // Stage 1: classic tuning without compression. The stage-1 advisor
+  // shares this advisor's SizeEstimator, so its samples (and, when
+  // options_.size_options.cache is set, its cross-round EstimationCache)
+  // are reused by the stage-2 re-estimation instead of re-drawn.
   AdvisorOptions staged_options = options_;
   staged_options.enable_compression = false;
   Advisor stage1(*db_, *optimizer_, sizes_, mvs_, staged_options);
   AdvisorResult result = stage1.Tune(workload, budget_bytes);
 
-  // Stage 2: compress every chosen index, re-estimating sizes.
+  // Stage 2: compress every chosen index, re-estimating sizes (one batch
+  // across the estimation pool) and re-costing the workload with the
+  // per-statement costings fanned across the enumeration pool.
+  using Clock = std::chrono::steady_clock;
+  auto t0 = Clock::now();
   std::vector<IndexDef> compressed;
   for (const PhysicalIndexEstimate& idx : result.config.indexes()) {
     compressed.push_back(idx.def.WithCompression(kind));
   }
   const std::map<std::string, PhysicalIndexEstimate> sizes =
       EstimateSizes(compressed, &result);
+  result.estimation_ms +=
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
   Configuration config;
   for (const IndexDef& def : compressed) {
     config.Add(sizes.at(def.Signature()));
   }
+  t0 = Clock::now();
   result.config = config;
-  result.final_cost = WorkloadCost(workload, config, nullptr, &result);
+  result.final_cost = PooledWorkloadCost(workload, config, &result);
   result.charged_bytes = ChargedBytes(config);
+  result.enumeration_ms +=
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
   return result;
 }
 

@@ -40,6 +40,14 @@ struct AdvisorResult {
   size_t stmt_costs_computed = 0;
   size_t stmt_costs_cached = 0;
 
+  // Per-phase wall times of the run (candidate generation + size
+  // estimation / per-query candidate selection / enumeration incl. the
+  // initial+final workload costings). Informational only — never part of
+  // the determinism contract or the rendered report.
+  double estimation_ms = 0.0;
+  double selection_ms = 0.0;
+  double enumeration_ms = 0.0;
+
   // Paper's headline metric: % improvement over the initial database.
   double improvement_percent() const {
     if (initial_cost <= 0) return 0.0;
@@ -71,21 +79,26 @@ class Advisor {
   AdvisorResult TuneStagedBaseline(const Workload& workload,
                                    double budget_bytes, CompressionKind kind);
 
- private:
   // Estimate sizes for all candidates; returns them as configuration
-  // entries keyed by signature.
+  // entries keyed by signature. Uncompressed candidates are sized on the
+  // estimation pool in one batch; compressed ones go through the Section 5
+  // framework. Public for tests and tooling.
   std::map<std::string, PhysicalIndexEstimate> EstimateSizes(
       const std::vector<IndexDef>& candidates, AdvisorResult* result);
 
   // Per-query candidate selection: keep candidates that appear in the
   // query's top-k configurations or on its size/cost skyline. The
   // single-index costings go through `cost_cache` (may be null), where
-  // they double as warm-up for the first enumeration step.
+  // they double as warm-up for the first enumeration step; they fan out
+  // over Pool() and are reduced serially in (query, candidate) order, so
+  // the selected pool is bit-identical at any thread count. Public for
+  // tests and tooling.
   std::vector<IndexDef> SelectCandidates(
       const Workload& workload, const std::vector<IndexDef>& candidates,
       const std::map<std::string, PhysicalIndexEstimate>& sizes,
       StatementCostCache* cost_cache, AdvisorResult* result) const;
 
+ private:
   // Greedy enumeration with optional backtracking. `cost_cache` may be
   // null (uncached costing); trial evaluations run on Pool() when the
   // options enable enumeration threads.
@@ -98,6 +111,13 @@ class Advisor {
   double WorkloadCost(const Workload& workload, const Configuration& config,
                       StatementCostCache* cost_cache,
                       AdvisorResult* result) const;
+
+  // Uncached workload costing with the per-statement optimizer calls
+  // fanned across Pool(); the weighted sum is reduced in statement order,
+  // reproducing WhatIfOptimizer::WorkloadCost to the bit.
+  double PooledWorkloadCost(const Workload& workload,
+                            const Configuration& config,
+                            AdvisorResult* result) const;
 
   bool CanAdd(const Configuration& config, const IndexDef& def) const;
 

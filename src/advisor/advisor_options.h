@@ -33,10 +33,12 @@ struct AdvisorOptions {
   bool backtracking = true;  // Section 6.2 oversize recovery
 
   // --- search-loop performance knobs ---
-  // Worker threads for Enumerate's independent what-if trial evaluations
-  // (the main candidate loop and the backtracking swap search). 1 = serial,
+  // Worker threads for the advisor's independent what-if costings: the
+  // per-query single-index costings of SelectCandidates, Enumerate's trial
+  // evaluations (the main candidate loop and the backtracking swap
+  // search), and the staged baseline's stage-2 re-costing. 1 = serial,
   // 0 = hardware concurrency. Results are bit-identical at any thread
-  // count: trials are reduced serially in pool order. Independent of
+  // count: costings are reduced serially in pool order. Independent of
   // size_options.num_threads (the estimation pool).
   int num_threads = 1;
   // Per-statement what-if cost cache: adding an index only changes the

@@ -108,4 +108,10 @@ SampleCfResult SizeEstimator::UncompressedSize(const IndexDef& def) {
   return r;
 }
 
+std::vector<SampleCfResult> SizeEstimator::UncompressedSizeAll(
+    const std::vector<IndexDef>& defs) {
+  return ParallelMap<SampleCfResult>(
+      Pool(), defs.size(), [&](size_t i) { return UncompressedSize(defs[i]); });
+}
+
 }  // namespace capd

@@ -68,6 +68,13 @@ class SizeEstimator {
   // Deterministic size of an uncompressed index.
   SampleCfResult UncompressedSize(const IndexDef& def);
 
+  // Batch variant: sizes every (uncompressed) def concurrently on the
+  // estimation pool, returning results in input order. Bit-identical to
+  // calling UncompressedSize in a loop — shared samples are seeded per
+  // cache key, never per draw order.
+  std::vector<SampleCfResult> UncompressedSizeAll(
+      const std::vector<IndexDef>& defs);
+
   const SizeEstimationOptions& options() const { return options_; }
   const ErrorModel& model() const { return model_; }
 

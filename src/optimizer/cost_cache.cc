@@ -21,7 +21,10 @@ void AppendU32(std::string* out, uint32_t v) {
 StatementCostCache::StatementCostCache(const Database& db,
                                        const WhatIfOptimizer& optimizer,
                                        const Workload& workload)
-    : db_(&db), optimizer_(&optimizer), workload_(&workload) {
+    : db_(&db),
+      optimizer_(&optimizer),
+      workload_(&workload),
+      shards_(workload.statements.size()) {
   scopes_.reserve(workload.statements.size());
   for (const Statement& stmt : workload.statements) {
     StatementScope scope;
@@ -143,16 +146,17 @@ double StatementCostCache::CostWithInfos(
   // The cost of a statement is a function of the *ordered subsequence* of
   // relevant indexes (best-path ties and floating-point sums follow
   // configuration order), so the key preserves that order — never sorts.
+  // The statement index itself is the shard, so it never enters the key.
   std::string key;
-  key.reserve(4 + 4 * infos.size());
-  AppendU32(&key, static_cast<uint32_t>(stmt_index));
+  key.reserve(4 * infos.size());
   for (const IndexInfo* info : infos) {
     if (info->relevant[stmt_index]) AppendU32(&key, info->id);
   }
+  Shard& shard = shards_[stmt_index];
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = costs_.find(key);
-    if (it != costs_.end()) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.costs.find(key);
+    if (it != shard.costs.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
@@ -160,8 +164,8 @@ double StatementCostCache::CostWithInfos(
   const double cost =
       optimizer_->Cost(workload_->statements[stmt_index], config);
   misses_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  costs_.emplace(std::move(key), cost);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.costs.emplace(std::move(key), cost);
   return cost;
 }
 

@@ -89,8 +89,18 @@ class StatementCostCache {
   const Workload* workload_;
   std::vector<StatementScope> scopes_;
 
+  // Cost entries are sharded per statement (the statement index is the
+  // natural partition of every key), so the selection/enumeration fan-out
+  // contends per statement instead of on one global mutex. The id/relevance
+  // interner keeps its own lock; its traffic is one lookup per distinct
+  // index per trial configuration.
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, double> costs;  // byte key -> cost
+  };
+  std::vector<Shard> shards_;  // one per workload statement
+
   std::mutex mu_;
-  std::unordered_map<std::string, double> costs_;  // byte key -> cost
   std::unordered_map<std::string, IndexInfo> index_info_;  // by signature
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

@@ -1,12 +1,15 @@
-// A slim TPC-DS-flavoured schema (store_sales + item + store). Used only by
-// the Appendix-C error-model stability analysis (Table 2), which needs a
-// schema/distribution different from TPC-H, not the full benchmark.
+// A slim TPC-DS-flavoured schema (store_sales + item + store). Originally
+// only the Appendix-C error-model stability analysis (Table 2) used the
+// schema; MakeWorkload adds a small analytic workload so the advisor (and
+// its golden-report regression tests) can tune a third dataset with a
+// distribution different from TPC-H and Sales.
 #ifndef CAPD_WORKLOADS_TPCDS_LITE_H_
 #define CAPD_WORKLOADS_TPCDS_LITE_H_
 
 #include <cstdint>
 
 #include "catalog/database.h"
+#include "query/query.h"
 
 namespace capd {
 namespace tpcds {
@@ -14,9 +17,13 @@ namespace tpcds {
 struct Options {
   uint64_t store_sales_rows = 10000;
   uint64_t seed = 777;
+  uint64_t bulk_rows = 1000;  // rows per bulk-load statement
 };
 
 void Build(Database* db, const Options& options);
+
+// 12 analytic queries over the star schema + 1 fact-table bulk load.
+Workload MakeWorkload(const Database& db, const Options& options);
 
 }  // namespace tpcds
 }  // namespace capd

@@ -134,6 +134,79 @@ TEST_F(AdvisorEdgeCase, EmptyWorkload) {
   EXPECT_DOUBLE_EQ(r.improvement_percent(), 0.0);
 }
 
+TEST_F(AdvisorEdgeCase, EmptyWorkloadParallelAndStaged) {
+  // The parallel selection/enumeration fan-out and the staged baseline's
+  // stage 2 must survive a workload with no statements (zero-shard cost
+  // cache, zero costing jobs).
+  AdvisorOptions options = AdvisorOptions::DTAcBoth();
+  options.num_threads = 4;
+  Advisor advisor(db_, *optimizer_, sizes_.get(), nullptr, options);
+  const AdvisorResult tuned = advisor.Tune(Workload{}, 1e9);
+  EXPECT_EQ(tuned.config.size(), 0u);
+  const AdvisorResult staged =
+      advisor.TuneStagedBaseline(Workload{}, 1e9, CompressionKind::kPage);
+  EXPECT_EQ(staged.config.size(), 0u);
+  EXPECT_DOUBLE_EQ(staged.final_cost, 0.0);
+}
+
+TEST_F(AdvisorEdgeCase, ZeroStorageBudget) {
+  // At a 0-byte budget only configurations that free space (compressed
+  // clustered indexes replacing the heap) may be charged.
+  AdvisorOptions options = AdvisorOptions::DTAcBoth();
+  options.num_threads = 2;
+  Advisor advisor(db_, *optimizer_, sizes_.get(), nullptr, options);
+  const AdvisorResult r = advisor.Tune(workload_, 0.0);
+  EXPECT_LE(r.charged_bytes, 1.0);
+  EXPECT_LE(r.final_cost, r.initial_cost);
+}
+
+TEST_F(AdvisorEdgeCase, SingleStatementWorkloadParallelMatchesSerial) {
+  Workload single;
+  single.statements.push_back(workload_.statements.front());
+  ASSERT_EQ(single.statements.front().type, StatementType::kSelect);
+
+  AdvisorOptions serial = AdvisorOptions::DTAcBoth();
+  serial.num_threads = 1;
+  Advisor a1(db_, *optimizer_, sizes_.get(), nullptr, serial);
+  const AdvisorResult base = a1.Tune(single, 1e9);
+
+  AdvisorOptions parallel = serial;
+  parallel.num_threads = 8;  // more workers than costing jobs per query
+  Advisor a2(db_, *optimizer_, sizes_.get(), nullptr, parallel);
+  const AdvisorResult r = a2.Tune(single, 1e9);
+  EXPECT_DOUBLE_EQ(base.final_cost, r.final_cost);
+  EXPECT_EQ(base.config.size(), r.config.size());
+}
+
+TEST_F(AdvisorEdgeCase, TopKZeroSelectsNothing) {
+  AdvisorOptions options = AdvisorOptions::DTAcNone();
+  options.top_k = 0;
+  options.num_threads = 2;
+  Advisor advisor(db_, *optimizer_, sizes_.get(), nullptr, options);
+  const AdvisorResult r = advisor.Tune(workload_, 1e9);
+  // An empty candidate pool must yield an empty (not crashed) tuning.
+  EXPECT_EQ(r.config.size(), 0u);
+  EXPECT_EQ(r.num_candidates, 0u);
+  EXPECT_DOUBLE_EQ(r.final_cost, r.initial_cost);
+}
+
+TEST_F(AdvisorEdgeCase, UnboundedEstimationCacheWithThreads) {
+  // cache_capacity_bytes == 0 means "unbounded", and it must compose with
+  // both thread pools (estimation + search) without crashing or drifting.
+  AdvisorOptions options = AdvisorOptions::DTAcBoth();
+  options.num_threads = 4;
+  options.size_options.num_threads = 2;
+  options.size_options.cache = std::make_shared<EstimationCache>();
+  options.size_options.cache_capacity_bytes = 0;
+  SizeEstimator estimator(db_, source_.get(), ErrorModel(),
+                          options.size_options);
+  Advisor advisor(db_, *optimizer_, &estimator, nullptr, options);
+  const AdvisorResult first = advisor.Tune(workload_, 1e9);
+  const AdvisorResult second = advisor.Tune(workload_, 1e9);  // cache-hot
+  EXPECT_DOUBLE_EQ(first.final_cost, second.final_cost);
+  EXPECT_EQ(first.config.size(), second.config.size());
+}
+
 TEST_F(AdvisorEdgeCase, InsertOnlyWorkload) {
   Workload inserts;
   inserts.statements.push_back(
