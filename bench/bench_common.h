@@ -6,72 +6,75 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "advisor/advisor.h"
 #include "common/math_util.h"
+#include "engine/advisor_engine.h"
 #include "index/index_builder.h"
+#include "workloads/registry.h"
 #include "workloads/sales.h"
 #include "workloads/tpch.h"
 
 namespace capd {
 namespace bench {
 
-// Everything a tuning experiment needs, wired together.
+// Everything a tuning experiment needs: the dataset plus an AdvisorEngine
+// owning the whole collaborator stack (samples, MVs, optimizer, pools).
+// Variant knobs reach the engine through TuneWithOptions, which honors the
+// caller's AdvisorOptions verbatim — the ablation escape hatch the
+// request/strategy API deliberately does not expose.
 struct Stack {
   std::unique_ptr<Database> db;
-  std::unique_ptr<SampleManager> samples;
-  std::unique_ptr<MVRegistry> mvs;
-  std::unique_ptr<WhatIfOptimizer> optimizer;
-  std::unique_ptr<SizeEstimator> sizes;
+  std::unique_ptr<AdvisorEngine> engine;
   Workload workload;
+
+  MVRegistry* mvs() { return engine->mvs(); }
+  const WhatIfOptimizer& optimizer() const { return engine->optimizer(); }
 
   AdvisorResult Tune(const AdvisorOptions& options, double budget_frac,
                      const Workload& w) {
-    // Built per call from options.size_options so variant knobs
-    // (num_threads, cache, use_deduction, e/q) actually reach estimation.
-    SizeEstimator estimator(*db, mvs.get(), ErrorModel(), options.size_options);
-    Advisor advisor(*db, *optimizer, &estimator, mvs.get(), options);
-    return advisor.Tune(w, budget_frac * static_cast<double>(db->BaseDataBytes()));
+    return engine->TuneWithOptions(
+        w, budget_frac * static_cast<double>(db->BaseDataBytes()), options);
   }
 };
 
-inline Stack MakeTpchStack(uint64_t lineitem_rows, double skew_z = 0.0,
-                           uint64_t seed = 20110829) {
+inline Stack MakeStack(workloads::WorkloadSpec spec) {
+  workloads::BuiltWorkload built;
+  std::string error;
+  if (!workloads::Build(spec, &built, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::abort();
+  }
   Stack s;
-  s.db = std::make_unique<Database>();
-  tpch::Options opt;
-  opt.lineitem_rows = lineitem_rows;
-  opt.skew_z = skew_z;
-  opt.seed = seed;
-  tpch::Build(s.db.get(), opt);
-  s.workload = tpch::MakeWorkload(*s.db, opt);
-  s.samples = std::make_unique<SampleManager>(seed ^ 0xabcd);
-  s.mvs = std::make_unique<MVRegistry>(*s.db, s.samples.get());
-  s.optimizer = std::make_unique<WhatIfOptimizer>(*s.db, CostModelParams{});
-  s.optimizer->set_mv_matcher(s.mvs.get());
-  s.sizes = std::make_unique<SizeEstimator>(*s.db, s.mvs.get(), ErrorModel(),
-                                            SizeEstimationOptions{});
+  s.db = std::move(built.db);
+  s.workload = std::move(built.workload);
+  EngineOptions options;
+  // The seed the hand-wired bench stacks always used for sampling.
+  options.sample_seed = built.seed ^ 0xabcd;
+  s.engine = std::make_unique<AdvisorEngine>(*s.db, options);
   return s;
 }
 
+inline Stack MakeTpchStack(uint64_t lineitem_rows, double skew_z = 0.0,
+                           uint64_t seed = 20110829) {
+  workloads::WorkloadSpec spec;
+  spec.name = "tpch";
+  spec.rows = lineitem_rows;
+  spec.seed = seed;
+  spec.skew_z = skew_z;
+  return MakeStack(std::move(spec));
+}
+
 inline Stack MakeSalesStack(uint64_t fact_rows, uint64_t seed = 424242) {
-  Stack s;
-  s.db = std::make_unique<Database>();
-  sales::Options opt;
-  opt.fact_rows = fact_rows;
-  opt.seed = seed;
-  sales::Build(s.db.get(), opt);
-  s.workload = sales::MakeWorkload(*s.db, opt);
-  s.samples = std::make_unique<SampleManager>(seed ^ 0xabcd);
-  s.mvs = std::make_unique<MVRegistry>(*s.db, s.samples.get());
-  s.optimizer = std::make_unique<WhatIfOptimizer>(*s.db, CostModelParams{});
-  s.optimizer->set_mv_matcher(s.mvs.get());
-  s.sizes = std::make_unique<SizeEstimator>(*s.db, s.mvs.get(), ErrorModel(),
-                                            SizeEstimationOptions{});
-  return s;
+  workloads::WorkloadSpec spec;
+  spec.name = "sales";
+  spec.rows = fact_rows;
+  spec.seed = seed;
+  return MakeStack(std::move(spec));
 }
 
 // A spread of index shapes over a table's columns: singletons, pairs and

@@ -39,7 +39,7 @@ RunStats RunOnce(bool use_deduction, uint64_t lineitem_rows) {
   options.size_options.q = 0.95;
 
   // Generate the full candidate set the tool would consider.
-  CandidateGenerator generator(*s.db, *s.optimizer, s.mvs.get(), options);
+  CandidateGenerator generator(*s.db, s.optimizer(), s.mvs(), options);
   const std::vector<IndexDef> candidates =
       generator.GenerateForWorkload(s.workload);
 
@@ -55,7 +55,7 @@ RunStats RunOnce(bool use_deduction, uint64_t lineitem_rows) {
     }
   }
 
-  SizeEstimator estimator(*s.db, s.mvs.get(), ErrorModel(), options.size_options);
+  SizeEstimator estimator(*s.db, s.mvs(), ErrorModel(), options.size_options);
   RunStats stats;
   const auto t0 = std::chrono::steady_clock::now();
   auto batch = estimator.EstimateAll(table_idx);
@@ -75,8 +75,8 @@ RunStats RunOnce(bool use_deduction, uint64_t lineitem_rows) {
   const auto t3 = std::chrono::steady_clock::now();
 
   // "Other": the rest of the tuning pipeline at this configuration.
-  Advisor advisor(*s.db, *s.optimizer, s.sizes.get(), s.mvs.get(), options);
-  advisor.Tune(s.workload, 0.5 * static_cast<double>(s.db->BaseDataBytes()));
+  s.engine->TuneWithOptions(
+      s.workload, 0.5 * static_cast<double>(s.db->BaseDataBytes()), options);
   const auto t4 = std::chrono::steady_clock::now();
 
   stats.table_ms = Millis(t0, t1);

@@ -91,9 +91,9 @@ void Run(uint64_t lineitem_rows) {
   for (int threads : {1, 4}) {
     AdvisorOptions options = base;
     options.num_threads = threads;
-    SizeEstimator estimator(*s.db, s.mvs.get(), ErrorModel(),
+    SizeEstimator estimator(*s.db, s.mvs(), ErrorModel(),
                             options.size_options);
-    Advisor advisor(*s.db, *s.optimizer, &estimator, s.mvs.get(), options);
+    Advisor advisor(*s.db, s.optimizer(), &estimator, s.mvs(), options);
     const AdvisorResult r = advisor.TuneStagedBaseline(
         w, budget * static_cast<double>(s.db->BaseDataBytes()),
         CompressionKind::kPage);

@@ -43,7 +43,7 @@ void Run(uint64_t lineitem_rows) {
   options.size_options.e = 0.25;
   options.size_options.q = 0.95;
 
-  CandidateGenerator generator(*s.db, *s.optimizer, s.mvs.get(), options);
+  CandidateGenerator generator(*s.db, s.optimizer(), s.mvs(), options);
   std::vector<IndexDef> targets;
   for (const IndexDef& def : generator.GenerateForWorkload(s.workload)) {
     if (def.compression != CompressionKind::kNone) targets.push_back(def);
@@ -56,7 +56,7 @@ void Run(uint64_t lineitem_rows) {
   // estimation work itself (index builds on samples), not sample drawing.
   {
     SizeEstimationOptions warm = options.size_options;
-    SizeEstimator estimator(*s.db, s.mvs.get(), ErrorModel(), warm);
+    SizeEstimator estimator(*s.db, s.mvs(), ErrorModel(), warm);
     estimator.EstimateAll(targets);
   }
 
@@ -67,7 +67,7 @@ void Run(uint64_t lineitem_rows) {
   for (int threads : {1, 2, 4, 8}) {
     SizeEstimationOptions size_options = options.size_options;
     size_options.num_threads = threads;
-    SizeEstimator estimator(*s.db, s.mvs.get(), ErrorModel(), size_options);
+    SizeEstimator estimator(*s.db, s.mvs(), ErrorModel(), size_options);
     const auto t0 = std::chrono::steady_clock::now();
     const SizeEstimator::BatchResult batch = estimator.EstimateAll(targets);
     const double ms = Millis(t0, std::chrono::steady_clock::now());
@@ -84,7 +84,7 @@ void Run(uint64_t lineitem_rows) {
   PrintHeader("Cross-round estimation cache: repeat pricing of one pool");
   SizeEstimationOptions cached_options = options.size_options;
   cached_options.cache = std::make_shared<EstimationCache>();
-  SizeEstimator estimator(*s.db, s.mvs.get(), ErrorModel(), cached_options);
+  SizeEstimator estimator(*s.db, s.mvs(), ErrorModel(), cached_options);
   std::printf("%-8s %12s %12s %12s\n", "round", "time", "cost(pg)", "hits");
   for (int round = 1; round <= 2; ++round) {
     const auto t0 = std::chrono::steady_clock::now();

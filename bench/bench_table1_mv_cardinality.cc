@@ -47,10 +47,10 @@ void Run() {
               "Multiply", "AE");
   std::vector<double> opt_err, mult_err, ae_err;
   for (const MVDef& def : defs) {
-    s.mvs->Register(def);
+    s.mvs()->Register(def);
     const double truth =
         static_cast<double>(MaterializeMV(*s.db, def)->num_rows());
-    const MVTupleEstimates est = s.mvs->EstimateTuples(def, 0.10);
+    const MVTupleEstimates est = s.mvs()->EstimateTuples(def, 0.10);
     auto err = [truth](double e) { return std::abs(e - truth) / truth; };
     opt_err.push_back(err(est.optimizer));
     mult_err.push_back(err(est.multiply));

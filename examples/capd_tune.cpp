@@ -1,124 +1,215 @@
-// capd_tune: a small command-line physical design tool over the built-in
-// workloads — the closest thing in this repo to running DTA from a shell.
+// capd_tune: the command-line physical design tool over the built-in
+// workloads, driving the AdvisorEngine service API — the closest thing in
+// this repo to running DTA from a shell.
 //
-//   capd_tune [--workload tpch|sales] [--budget-frac 0.2] [--variant both|
-//             skyline|backtrack|none|dta] [--insert-weight 1.0] [--mv]
-//             [--partial] [--rows N] [--trace]
+//   capd_tune [--workload tpch|sales|tpcds-lite] [--rows N] [--seed N]
+//             [--strategy NAME] [--budget 15% | --budget BYTES]
+//             [--budget-frac F] [--threads N] [--insert-weight W]
+//             [--mv] [--partial] [--json] [--trace] [--list]
+//
+// --json prints the versioned JSON report (report_json.h) and nothing
+// else, so the output pipes straight into `python3 -m json.tool`, jq, etc.
+// Bad flags, unknown workloads and unknown strategies exit 2 with a usage
+// message.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "advisor/advisor.h"
-#include "advisor/report.h"
-#include "workloads/sales.h"
-#include "workloads/tpch.h"
+#include "engine/advisor_engine.h"
+#include "workloads/registry.h"
 
 using namespace capd;
 
 namespace {
 
 void Usage() {
-  std::fprintf(stderr,
-               "usage: capd_tune [--workload tpch|sales] [--budget-frac F]\n"
-               "                 [--variant both|skyline|backtrack|none|dta]\n"
-               "                 [--insert-weight W] [--mv] [--partial]\n"
-               "                 [--rows N] [--trace]\n");
+  std::fprintf(
+      stderr,
+      "usage: capd_tune [--workload tpch|sales|tpcds-lite] [--rows N]\n"
+      "                 [--seed N] [--strategy NAME] [--budget 15%% | BYTES]\n"
+      "                 [--budget-frac F] [--threads N] [--insert-weight W]\n"
+      "                 [--mv] [--partial] [--json] [--trace] [--list]\n"
+      "\n"
+      "  --budget accepts a percentage of the base data size (\"15%%\") or\n"
+      "  an absolute byte count (\"1048576\"); --budget-frac takes the\n"
+      "  fraction as a float. --threads drives both the search and the\n"
+      "  estimation pools (0 = hardware concurrency). --mv/--partial add\n"
+      "  MV and partial-index candidates on top of the chosen strategy.\n"
+      "  --list prints the registered strategies and workloads and exits.\n");
+}
+
+// Strict numeric parsers: the whole value must parse, or we exit 2 — a
+// silently truncated \"10k\" must not become 10 (or 0 = workload default).
+uint64_t ParseUint64Flag(const char* flag, const char* text,
+                         uint64_t min_value = 0) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || value < min_value) {
+    std::fprintf(stderr, "bad %s value '%s'\n", flag, text);
+    Usage();
+    std::exit(2);
+  }
+  return value;
+}
+
+double ParseDoubleFlag(const char* flag, const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "bad %s value '%s'\n", flag, text);
+    Usage();
+    std::exit(2);
+  }
+  return value;
+}
+
+// "15%" -> fraction, plain number -> absolute bytes. False on junk.
+bool ParseBudget(const std::string& text, TuningBudget* budget) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0.0) return false;
+  if (*end == '%' && *(end + 1) == '\0') {
+    *budget = TuningBudget::Fraction(value / 100.0);
+    return true;
+  }
+  if (*end != '\0') return false;
+  *budget = TuningBudget::Bytes(value);
+  return true;
+}
+
+void ListRegistries() {
+  std::printf("strategies:\n");
+  for (const std::string& name : StrategyRegistry::Global().Names()) {
+    std::printf("  %-16s %s\n", name.c_str(),
+                StrategyRegistry::Global().Find(name)->description().c_str());
+  }
+  std::printf("workloads:\n");
+  for (const std::string& name : workloads::Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string workload_name = "tpch";
-  std::string variant = "both";
-  double budget_frac = 0.2;
+  workloads::WorkloadSpec spec;
+  spec.name = "tpch";
+  spec.rows = 8000;
+  TuningBudget budget = TuningBudget::Fraction(0.2);
+  std::string strategy = "dtac-both";
   double insert_weight = 1.0;
+  int threads = 1;
   bool enable_mv = false;
   bool enable_partial = false;
+  bool json = false;
   bool trace = false;
-  uint64_t rows = 8000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
         Usage();
         std::exit(2);
       }
       return argv[++i];
     };
     if (arg == "--workload") {
-      workload_name = next();
-    } else if (arg == "--budget-frac") {
-      budget_frac = std::strtod(next(), nullptr);
-    } else if (arg == "--variant") {
-      variant = next();
-    } else if (arg == "--insert-weight") {
-      insert_weight = std::strtod(next(), nullptr);
+      spec.name = next();
     } else if (arg == "--rows") {
-      rows = std::strtoull(next(), nullptr, 10);
+      spec.rows = ParseUint64Flag("--rows", next(), 1);
+    } else if (arg == "--seed") {
+      spec.seed = ParseUint64Flag("--seed", next());
+    } else if (arg == "--strategy") {
+      strategy = next();
+    } else if (arg == "--budget") {
+      if (!ParseBudget(next(), &budget)) {
+        std::fprintf(stderr, "bad --budget value (want \"15%%\" or bytes)\n");
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--budget-frac") {
+      budget = TuningBudget::Fraction(ParseDoubleFlag("--budget-frac", next()));
+    } else if (arg == "--threads") {
+      threads = static_cast<int>(ParseUint64Flag("--threads", next()));
+    } else if (arg == "--insert-weight") {
+      insert_weight = ParseDoubleFlag("--insert-weight", next());
     } else if (arg == "--mv") {
       enable_mv = true;
     } else if (arg == "--partial") {
       enable_partial = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--list") {
+      ListRegistries();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
     } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       Usage();
       return 2;
     }
   }
 
-  Database db;
-  Workload workload;
-  if (workload_name == "tpch") {
-    tpch::Options opt;
-    opt.lineitem_rows = rows;
-    tpch::Build(&db, opt);
-    workload = tpch::MakeWorkload(db, opt);
-  } else if (workload_name == "sales") {
-    sales::Options opt;
-    opt.fact_rows = rows;
-    sales::Build(&db, opt);
-    workload = sales::MakeWorkload(db, opt);
-  } else {
+  // Fail on a bad strategy name before spending time building the dataset.
+  if (StrategyRegistry::Global().Find(strategy) == nullptr) {
+    std::fprintf(
+        stderr, "%s\n",
+        StrategyRegistry::Global().UnknownStrategyMessage(strategy).c_str());
     Usage();
     return 2;
   }
-  workload = workload.WithInsertWeight(insert_weight);
 
-  AdvisorOptions options;
-  if (variant == "both") {
-    options = AdvisorOptions::DTAcBoth();
-  } else if (variant == "skyline") {
-    options = AdvisorOptions::DTAcSkyline();
-  } else if (variant == "backtrack") {
-    options = AdvisorOptions::DTAcBacktrack();
-  } else if (variant == "none") {
-    options = AdvisorOptions::DTAcNone();
-  } else if (variant == "dta") {
-    options = AdvisorOptions::DTA();
-  } else {
+  workloads::BuiltWorkload built;
+  std::string error;
+  if (!workloads::Build(spec, &built, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
     Usage();
     return 2;
   }
-  options.enable_mv = enable_mv;
-  options.enable_partial = enable_partial;
-  options.trace = trace;
 
-  SampleManager samples(2024);
-  MVRegistry mvs(db, &samples);
-  WhatIfOptimizer optimizer(db, CostModelParams{});
-  optimizer.set_mv_matcher(&mvs);
-  SizeEstimator sizes(db, &mvs, ErrorModel(), options.size_options);
-  Advisor advisor(db, optimizer, &sizes, &mvs, options);
+  EngineOptions engine_options;
+  engine_options.search_threads = threads;
+  engine_options.estimation_threads = threads;
+  AdvisorEngine engine(*built.db, engine_options);
 
-  const double budget = budget_frac * static_cast<double>(db.BaseDataBytes());
-  const AdvisorResult result = advisor.Tune(workload, budget);
+  TuningRequest request;
+  request.workload = built.workload.WithInsertWeight(insert_weight);
+  request.strategy = strategy;
+  request.budget = budget;
+  request.enable_mv = enable_mv ? 1 : -1;
+  request.enable_partial = enable_partial ? 1 : -1;
+  request.trace = trace;
+  if (trace && !json) {
+    request.progress = [](const std::string& phase) {
+      std::fprintf(stderr, "[capd_tune] phase done: %s\n", phase.c_str());
+    };
+  }
 
-  std::printf("workload=%s variant=%s budget=%.0f%% (%.0f KB of %.0f KB)\n",
-              workload_name.c_str(), variant.c_str(), budget_frac * 100,
-              budget / 1024.0, db.BaseDataBytes() / 1024.0);
+  const TuningResponse response = engine.Tune(request);
+  if (response.status == TuningResponse::Status::kError) {
+    std::fprintf(stderr, "%s\n", response.error.c_str());
+    Usage();
+    return 2;
+  }
+
+  if (json) {
+    std::fputs(response.json.c_str(), stdout);
+    return 0;
+  }
+
+  const double base_kb =
+      static_cast<double>(built.db->BaseDataBytes()) / 1024.0;
+  std::printf("workload=%s strategy=%s budget=%.0f KB (base data %.0f KB)\n",
+              spec.name.c_str(), strategy.c_str(),
+              response.budget_bytes / 1024.0, base_kb);
+  const AdvisorResult& result = response.result;
   std::printf("candidates considered: %zu   what-if calls: %zu\n",
               result.num_candidates, result.what_if_calls);
   std::printf("size estimation: f=%.1f%%, cost=%.0f sample pages, "
@@ -129,6 +220,6 @@ int main(int argc, char** argv) {
               result.initial_cost, result.final_cost,
               result.improvement_percent());
   std::printf("charged bytes: %.0f KB\n\n%s", result.charged_bytes / 1024.0,
-              RenderTuningReport(result, &mvs, budget).c_str());
+              response.report.c_str());
   return 0;
 }

@@ -5,31 +5,53 @@
 //   - Blindly compressing every index can REDUCE throughput on
 //     update-intensive workloads.
 #include <cstdio>
+#include <string>
 
-#include "advisor/advisor.h"
-#include "workloads/tpch.h"
+#include "engine/advisor_engine.h"
+#include "workloads/registry.h"
 
 using namespace capd;
 
-int main() {
-  Database db;
-  tpch::Options opt;
-  opt.lineitem_rows = 6000;
-  tpch::Build(&db, opt);
-  const Workload workload = tpch::MakeWorkload(db, opt);
+namespace {
 
-  SampleManager samples(7);
-  TableSampleSource source(db, &samples);
-  WhatIfOptimizer optimizer(db, CostModelParams{});
-  SizeEstimator sizes(db, &source, ErrorModel(), SizeEstimationOptions{});
-  Advisor advisor(db, optimizer, &sizes, nullptr, AdvisorOptions::DTAcBoth());
+// One engine serves every request below; strategies are picked by name.
+AdvisorResult Tune(AdvisorEngine* engine, const std::string& strategy,
+                   const Workload& workload, double budget_frac) {
+  TuningRequest request;
+  request.workload = workload;
+  request.strategy = strategy;
+  request.budget = TuningBudget::Fraction(budget_frac);
+  const TuningResponse response = engine->Tune(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "tuning failed: %s\n", response.error.c_str());
+    std::exit(1);
+  }
+  return response.result;
+}
+
+}  // namespace
+
+int main() {
+  workloads::WorkloadSpec spec;
+  spec.name = "tpch";
+  spec.rows = 6000;
+  workloads::BuiltWorkload built;
+  std::string error;
+  if (!workloads::Build(spec, &built, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  EngineOptions engine_options;
+  engine_options.sample_seed = 7;
+  AdvisorEngine engine(*built.db, engine_options);
+  const Workload& workload = built.workload;
 
   std::printf("=== Example 1: tight budget, staged vs integrated ===\n");
-  const double tight = 0.06 * static_cast<double>(db.BaseDataBytes());
   const Workload select_heavy = workload.WithInsertWeight(0.2);
-  const AdvisorResult integrated = advisor.Tune(select_heavy, tight);
+  const AdvisorResult integrated =
+      Tune(&engine, "dtac-both", select_heavy, 0.06);
   const AdvisorResult staged =
-      advisor.TuneStagedBaseline(select_heavy, tight, CompressionKind::kPage);
+      Tune(&engine, "staged:page", select_heavy, 0.06);
   std::printf("  integrated (DTAc):        %5.1f%% improvement, %zu indexes\n",
               integrated.improvement_percent(), integrated.config.size());
   std::printf("  staged (select->compress): %5.1f%% improvement, %zu indexes\n",
@@ -39,10 +61,9 @@ int main() {
 
   std::printf("=== Example 2: compressing everything under heavy updates ===\n");
   const Workload insert_heavy = workload.WithInsertWeight(5.0);
-  const double roomy = 0.5 * static_cast<double>(db.BaseDataBytes());
-  const AdvisorResult aware = advisor.Tune(insert_heavy, roomy);
+  const AdvisorResult aware = Tune(&engine, "dtac-both", insert_heavy, 0.5);
   const AdvisorResult blind =
-      advisor.TuneStagedBaseline(insert_heavy, roomy, CompressionKind::kPage);
+      Tune(&engine, "staged:page", insert_heavy, 0.5);
   size_t aware_compressed = 0;
   for (const auto& idx : aware.config.indexes()) {
     if (idx.def.compression != CompressionKind::kNone) ++aware_compressed;

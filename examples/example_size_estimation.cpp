@@ -2,18 +2,25 @@
 // shared per-table sample, ColSet/ColExt deductions, and the graph search
 // choosing which indexes to sample vs deduce under an accuracy constraint.
 #include <cstdio>
+#include <string>
 
 #include "estimator/size_estimator.h"
 #include "index/index_builder.h"
-#include "workloads/tpch.h"
+#include "workloads/registry.h"
 
 using namespace capd;
 
 int main() {
-  Database db;
-  tpch::Options opt;
-  opt.lineitem_rows = 12000;
-  tpch::Build(&db, opt);
+  workloads::WorkloadSpec spec;
+  spec.name = "tpch";
+  spec.rows = 12000;
+  workloads::BuiltWorkload built;
+  std::string error;
+  if (!workloads::Build(spec, &built, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const Database& db = *built.db;
 
   SampleManager samples(99);
   TableSampleSource source(db, &samples);

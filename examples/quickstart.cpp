@@ -5,7 +5,7 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "advisor/advisor.h"
+#include "engine/advisor_engine.h"
 #include "query/sql_parser.h"
 
 using namespace capd;
@@ -50,19 +50,26 @@ int main() {
     workload.statements.push_back(*stmt);
   }
 
-  // --- 3. Wire the tool: what-if optimizer + size estimation. -----------
-  SampleManager samples(7);
-  TableSampleSource source(db, &samples);
-  WhatIfOptimizer optimizer(db, CostModelParams{});
-  SizeEstimator sizes(db, &source, ErrorModel(), SizeEstimationOptions{});
+  // --- 3. One engine owns the whole tuning stack (samples, what-if
+  // optimizer, size estimation, caches). ---------------------------------
+  EngineOptions engine_options;
+  engine_options.sample_seed = 7;
+  AdvisorEngine engine(db, engine_options);
 
   // --- 4. Tune under a 25% storage budget. -------------------------------
-  const double budget = 0.25 * static_cast<double>(db.BaseDataBytes());
-  Advisor advisor(db, optimizer, &sizes, nullptr, AdvisorOptions::DTAcBoth());
-  const AdvisorResult result = advisor.Tune(workload, budget);
+  TuningRequest request;
+  request.workload = workload;
+  request.strategy = "dtac-both";  // the full compression-aware tool
+  request.budget = TuningBudget::Fraction(0.25);
+  const TuningResponse response = engine.Tune(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "tuning failed: %s\n", response.error.c_str());
+    return 1;
+  }
+  const AdvisorResult& result = response.result;
 
   std::printf("base data:     %8.0f KB\n", db.BaseDataBytes() / 1024.0);
-  std::printf("budget:        %8.0f KB\n", budget / 1024.0);
+  std::printf("budget:        %8.0f KB\n", response.budget_bytes / 1024.0);
   std::printf("initial cost:  %8.1f\n", result.initial_cost);
   std::printf("final cost:    %8.1f  (%.1f%% improvement)\n", result.final_cost,
               result.improvement_percent());

@@ -22,11 +22,21 @@ double Advisor::ChargedBytes(const Configuration& config) const {
 }
 
 ThreadPool* Advisor::Pool() const {
+  if (options_.pool != nullptr) return options_.pool;
   if (options_.num_threads == 1) return nullptr;
   if (pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
   return pool_.get();
+}
+
+bool Advisor::CancelRequested() const {
+  return options_.cancel != nullptr &&
+         options_.cancel->load(std::memory_order_relaxed);
+}
+
+void Advisor::ReportProgress(const char* phase) const {
+  if (options_.progress) options_.progress(phase);
 }
 
 double Advisor::WorkloadCost(const Workload& workload,
@@ -246,6 +256,12 @@ Configuration Advisor::Enumerate(
   ThreadPool* workers = Pool();
 
   while (true) {
+    // Cooperative cancel: between greedy steps the configuration is always
+    // coherent, so stopping here leaves the best design found so far.
+    if (CancelRequested()) {
+      if (result != nullptr) result->cancelled = true;
+      break;
+    }
     // Evaluate every addable candidate. The trials are independent, so
     // they fan out across the pool; the reduction below walks them in pool
     // order with the same comparisons as the serial loop, which makes the
@@ -396,14 +412,26 @@ AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
         .count();
   };
 
+  // Cancellation can land between any two phases; the partial result (best
+  // configuration so far, flagged `cancelled`) is always coherent.
+  auto cancelled = [&]() {
+    if (!CancelRequested()) return false;
+    result.cancelled = true;
+    return true;
+  };
+
   // 1. Syntactically relevant candidates + compressed variants.
   auto t0 = Clock::now();
   std::vector<IndexDef> candidates = generator.GenerateForWorkload(workload);
+  ReportProgress("candidates");
+  if (cancelled()) return result;
 
   // 2. Size estimation for every candidate (Section 5 framework).
   std::map<std::string, PhysicalIndexEstimate> sizes =
       EstimateSizes(candidates, &result);
   result.estimation_ms += millis_since(t0);
+  ReportProgress("estimation");
+  if (cancelled()) return result;
 
   // The per-statement what-if cost cache lives for the whole run: nothing
   // within one Tune invalidates a statement cost (database and sizes are
@@ -420,6 +448,14 @@ AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
   std::vector<IndexDef> selected =
       SelectCandidates(workload, candidates, sizes, cost_cache.get(), &result);
   result.selection_ms += millis_since(t0);
+  ReportProgress("selection");
+  if (cancelled()) {
+    if (cost_cache != nullptr) {
+      result.stmt_costs_computed += cost_cache->misses();
+      result.stmt_costs_cached += cost_cache->hits();
+    }
+    return result;
+  }
 
   // 4. Index merging over the selected pool.
   if (options_.enable_merging) {
@@ -440,8 +476,18 @@ AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
                    sizes.at(def.Signature()).bytes / 1024.0);
     }
   }
+  ReportProgress("merging");
+  if (cancelled()) {
+    if (cost_cache != nullptr) {
+      result.stmt_costs_computed += cost_cache->misses();
+      result.stmt_costs_cached += cost_cache->hits();
+    }
+    return result;
+  }
 
-  // 5. Enumeration.
+  // 5. Enumeration. A cancel inside Enumerate still falls through here, so
+  // a cancelled result carries real initial/final costs for its partial
+  // configuration.
   t0 = Clock::now();
   const Configuration empty;
   result.initial_cost = WorkloadCost(workload, empty, cost_cache.get(), &result);
@@ -451,6 +497,7 @@ AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
       WorkloadCost(workload, result.config, cost_cache.get(), &result);
   result.charged_bytes = ChargedBytes(result.config);
   result.enumeration_ms += millis_since(t0);
+  ReportProgress("enumeration");
   if (cost_cache != nullptr) {
     result.stmt_costs_computed += cost_cache->misses();
     result.stmt_costs_cached += cost_cache->hits();
@@ -469,6 +516,10 @@ AdvisorResult Advisor::TuneStagedBaseline(const Workload& workload,
   staged_options.enable_compression = false;
   Advisor stage1(*db_, *optimizer_, sizes_, mvs_, staged_options);
   AdvisorResult result = stage1.Tune(workload, budget_bytes);
+  if (result.cancelled || CancelRequested()) {
+    result.cancelled = true;
+    return result;  // stage-1 design, uncompressed
+  }
 
   // Stage 2: compress every chosen index, re-estimating sizes (one batch
   // across the estimation pool) and re-costing the workload with the
@@ -493,6 +544,7 @@ AdvisorResult Advisor::TuneStagedBaseline(const Workload& workload,
   result.charged_bytes = ChargedBytes(config);
   result.enumeration_ms +=
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  ReportProgress("staged-recompress");
   return result;
 }
 

@@ -48,6 +48,10 @@ struct AdvisorResult {
   double selection_ms = 0.0;
   double enumeration_ms = 0.0;
 
+  // True when a cooperative cancel (AdvisorOptions::cancel) stopped the
+  // run early; config then holds the best configuration found so far.
+  bool cancelled = false;
+
   // Paper's headline metric: % improvement over the initial database.
   double improvement_percent() const {
     if (initial_cost <= 0) return 0.0;
@@ -121,9 +125,14 @@ class Advisor {
 
   bool CanAdd(const Configuration& config, const IndexDef& def) const;
 
-  // Enumeration thread pool (created on first use, reused across rounds);
-  // null when options_.num_threads == 1.
+  // Enumeration thread pool: options_.pool when set, otherwise created on
+  // first use and reused across rounds; null when options_.num_threads == 1.
   ThreadPool* Pool() const;
+
+  // Cooperative cancellation / progress plumbing (no-ops when the options
+  // leave them unset).
+  bool CancelRequested() const;
+  void ReportProgress(const char* phase) const;
 
   const Database* db_;
   const WhatIfOptimizer* optimizer_;

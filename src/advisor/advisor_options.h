@@ -4,6 +4,10 @@
 #ifndef CAPD_ADVISOR_ADVISOR_OPTIONS_H_
 #define CAPD_ADVISOR_ADVISOR_OPTIONS_H_
 
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "compress/compression_kind.h"
@@ -41,11 +45,26 @@ struct AdvisorOptions {
   // count: costings are reduced serially in pool order. Independent of
   // size_options.num_threads (the estimation pool).
   int num_threads = 1;
+  // External search pool. When set it is used instead of (and regardless
+  // of) num_threads, and is not owned: the AdvisorEngine shares one search
+  // pool across requests this way. Results stay bit-identical — costings
+  // are reduced serially in pool order whatever executes them.
+  ThreadPool* pool = nullptr;
   // Per-statement what-if cost cache: adding an index only changes the
   // cost of statements touching its object, so unchanged statements reuse
   // cached costs across trials (bit-identical to uncached costing). The
   // hit/miss counts land in AdvisorResult::stmt_costs_{cached,computed}.
   bool cost_cache = true;
+
+  // --- engine integration (see src/engine/advisor_engine.h) ---
+  // Cooperative cancellation: checked at phase boundaries and before each
+  // enumeration step. When it becomes true, Tune stops early and returns
+  // the best configuration found so far with AdvisorResult::cancelled set.
+  std::shared_ptr<const std::atomic<bool>> cancel;
+  // Phase progress hook, invoked serially from the tuning thread after
+  // each phase ("candidates", "estimation", "selection", "merging",
+  // "enumeration"; the staged baseline reports its stage-1 phases too).
+  std::function<void(const std::string& phase)> progress;
 
   bool enable_clustered = true;
   bool enable_partial = false;  // partial-index candidates

@@ -1,0 +1,163 @@
+#include "advisor/report_json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "advisor/report.h"
+
+namespace capd {
+namespace {
+
+// Shortest decimal that round-trips to the same bits — deterministic
+// across platforms (the value is pinned by the determinism contract; its
+// shortest representation is a pure function of the bits). std::to_chars
+// rather than printf: locale-independent, so an embedder's
+// setlocale(LC_NUMERIC, ...) cannot turn the report into invalid JSON.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[64];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, r.ptr);
+}
+
+std::string JsonString(const std::string& s) {
+  std::ostringstream os;
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          os << esc;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+  return os.str();
+}
+
+std::string JsonStringArray(const std::vector<std::string>& items) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << JsonString(items[i]);
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+std::string RenderTuningReportJson(const AdvisorResult& result,
+                                   const MVRegistry* mvs, double budget_bytes,
+                                   const std::string& strategy) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema_version\": " << kTuningReportJsonVersion << ",\n";
+  if (!strategy.empty()) {
+    os << "  \"strategy\": " << JsonString(strategy) << ",\n";
+  }
+  os << "  \"cancelled\": " << (result.cancelled ? "true" : "false") << ",\n";
+
+  os << "  \"cost\": {\n";
+  os << "    \"initial\": " << JsonNumber(result.initial_cost) << ",\n";
+  os << "    \"final\": " << JsonNumber(result.final_cost) << ",\n";
+  os << "    \"improvement_percent\": "
+     << JsonNumber(result.improvement_percent()) << "\n";
+  os << "  },\n";
+
+  os << "  \"storage\": {\n";
+  os << "    \"budget_bytes\": " << JsonNumber(budget_bytes) << ",\n";
+  os << "    \"charged_bytes\": " << JsonNumber(result.charged_bytes) << "\n";
+  os << "  },\n";
+
+  os << "  \"search\": {\n";
+  os << "    \"num_candidates\": " << result.num_candidates << ",\n";
+  os << "    \"what_if_calls\": " << result.what_if_calls << ",\n";
+  os << "    \"stmt_costs_computed\": " << result.stmt_costs_computed << ",\n";
+  os << "    \"stmt_costs_cached\": " << result.stmt_costs_cached << "\n";
+  os << "  },\n";
+
+  os << "  \"estimation\": {\n";
+  os << "    \"chosen_f\": " << JsonNumber(result.chosen_f) << ",\n";
+  os << "    \"cost_pages\": " << JsonNumber(result.estimation_cost_pages)
+     << ",\n";
+  os << "    \"num_sampled\": " << result.num_sampled << ",\n";
+  os << "    \"num_deduced\": " << result.num_deduced << "\n";
+  os << "  },\n";
+
+  // CREATE VIEW statements for MVs referenced by recommended indexes, in
+  // first-reference order (mirrors the text report).
+  os << "  \"views\": [";
+  bool first_view = true;
+  if (mvs != nullptr) {
+    std::set<std::string> emitted;
+    for (const PhysicalIndexEstimate& idx : result.config.indexes()) {
+      const MVDef* def = mvs->Find(idx.def.object);
+      if (def == nullptr || !emitted.insert(def->name).second) continue;
+      os << (first_view ? "\n" : ",\n");
+      first_view = false;
+      os << "    {\n";
+      os << "      \"name\": " << JsonString(def->name) << ",\n";
+      os << "      \"ddl\": " << JsonString(ToCreateViewSql(*def)) << "\n";
+      os << "    }";
+    }
+  }
+  os << (first_view ? "],\n" : "\n  ],\n");
+
+  os << "  \"objects\": [";
+  int seq = 0;
+  for (const PhysicalIndexEstimate& idx : result.config.indexes()) {
+    os << (seq == 0 ? "\n" : ",\n");
+    const std::string name = "capd_ix_" + std::to_string(++seq);
+    os << "    {\n";
+    os << "      \"name\": " << JsonString(name) << ",\n";
+    os << "      \"object\": " << JsonString(idx.def.object) << ",\n";
+    os << "      \"key_columns\": " << JsonStringArray(idx.def.key_columns)
+       << ",\n";
+    os << "      \"include_columns\": "
+       << JsonStringArray(idx.def.include_columns) << ",\n";
+    os << "      \"clustered\": " << (idx.def.clustered ? "true" : "false")
+       << ",\n";
+    os << "      \"compression\": "
+       << JsonString(CompressionKindName(idx.def.compression)) << ",\n";
+    if (idx.def.filter.has_value()) {
+      os << "      \"filter\": " << JsonString(idx.def.filter->ToString())
+         << ",\n";
+    }
+    os << "      \"estimated_bytes\": " << JsonNumber(idx.bytes) << ",\n";
+    os << "      \"estimated_tuples\": " << JsonNumber(idx.tuples) << ",\n";
+    os << "      \"ddl\": " << JsonString(ToCreateIndexSql(idx.def, name))
+       << "\n";
+    os << "    }";
+  }
+  os << (seq == 0 ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace capd

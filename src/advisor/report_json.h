@@ -1,0 +1,30 @@
+// Machine-readable rendering of an AdvisorResult: a versioned JSON
+// document carrying everything the text report prints (costs, storage,
+// search and estimation statistics, recommended DDL) plus the structured
+// index definitions a driving program would otherwise re-parse out of the
+// DDL. The schema is pinned by `kTuningReportJsonVersion` and by golden
+// files (tests/golden/*.json) — bump the version on any shape change.
+#ifndef CAPD_ADVISOR_REPORT_JSON_H_
+#define CAPD_ADVISOR_REPORT_JSON_H_
+
+#include <string>
+
+#include "advisor/advisor.h"
+#include "mv/mv_registry.h"
+
+namespace capd {
+
+// Value of the "schema_version" key emitted by RenderTuningReportJson.
+inline constexpr int kTuningReportJsonVersion = 1;
+
+// Renders `result` as pretty-printed JSON (2-space indent, trailing
+// newline). Deterministic: doubles are emitted as shortest round-trip
+// decimals, so bit-identical results render byte-identically. `mvs` may be
+// null; `strategy` is echoed verbatim (empty = omitted).
+std::string RenderTuningReportJson(const AdvisorResult& result,
+                                   const MVRegistry* mvs, double budget_bytes,
+                                   const std::string& strategy);
+
+}  // namespace capd
+
+#endif  // CAPD_ADVISOR_REPORT_JSON_H_

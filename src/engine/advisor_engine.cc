@@ -1,0 +1,148 @@
+#include "engine/advisor_engine.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "advisor/report.h"
+#include "advisor/report_json.h"
+
+namespace capd {
+
+AdvisorEngine::AdvisorEngine(const Database& db, EngineOptions options)
+    : db_(&db),
+      options_(std::move(options)),
+      samples_(options_.sample_seed),
+      mvs_(db, &samples_),
+      optimizer_(db, CostModelParams{}) {
+  optimizer_.set_mv_matcher(&mvs_);
+  if (options_.share_estimation_cache) {
+    estimation_cache_ = std::make_shared<EstimationCache>(
+        options_.estimation_cache_capacity_bytes);
+  }
+}
+
+ThreadPool* AdvisorEngine::PoolFor(int threads) {
+  if (threads == 1) return nullptr;
+  if (threads < 0) threads = 0;  // normalize: 0 = hardware concurrency
+  std::lock_guard<std::mutex> lock(pools_mu_);
+  std::unique_ptr<ThreadPool>& pool = pools_[threads];
+  if (pool == nullptr) pool = std::make_unique<ThreadPool>(threads);
+  return pool.get();
+}
+
+void AdvisorEngine::LendPools(AdvisorOptions* options) {
+  if (options->pool == nullptr) {
+    options->pool = PoolFor(options->num_threads);
+  }
+  if (options->size_options.pool == nullptr) {
+    options->size_options.pool = PoolFor(options->size_options.num_threads);
+  }
+}
+
+TuningResponse AdvisorEngine::Tune(const TuningRequest& request) {
+  TuningResponse response;
+  response.strategy = request.strategy;
+
+  const std::shared_ptr<const Strategy> strategy =
+      StrategyRegistry::Global().Find(request.strategy);
+  if (strategy == nullptr) {
+    response.status = TuningResponse::Status::kError;
+    response.error =
+        StrategyRegistry::Global().UnknownStrategyMessage(request.strategy);
+    return response;
+  }
+
+  if (!std::isfinite(request.budget.value) || request.budget.value < 0.0) {
+    response.status = TuningResponse::Status::kError;
+    response.error = "invalid budget: value must be finite and >= 0";
+    return response;
+  }
+  const double budget_bytes = request.budget.ResolveBytes(
+      static_cast<double>(db_->BaseDataBytes()));
+  response.budget_bytes = budget_bytes;
+
+  // Strategy base options + request knobs + engine-owned collaborators.
+  AdvisorOptions options = strategy->MakeOptions();
+  options.num_threads = request.search_threads >= 0 ? request.search_threads
+                                                    : options_.search_threads;
+  options.size_options.num_threads = request.estimation_threads >= 0
+                                         ? request.estimation_threads
+                                         : options_.estimation_threads;
+  options.cost_cache =
+      request.cost_cache >= 0 ? request.cost_cache != 0 : options_.cost_cache;
+  if (request.enable_mv >= 0) options.enable_mv = request.enable_mv != 0;
+  if (request.enable_partial >= 0) {
+    options.enable_partial = request.enable_partial != 0;
+  }
+  if (request.use_shared_estimation_cache && estimation_cache_ != nullptr) {
+    options.size_options.cache = estimation_cache_;
+    // Fraction-exact mode: warmth must never change what a request
+    // computes — see the determinism contract in the header.
+    options.size_options.cache_fraction_exact = true;
+  }
+  options.trace = options.trace || request.trace;
+  options.cancel = request.cancel.flag();
+  options.progress = request.progress;
+  LendPools(&options);
+
+  RequestScope scope = ScopeFor(options);
+  try {
+    SizeEstimator estimator(*db_, scope.mvs, ErrorModel(),
+                            options.size_options);
+    Advisor advisor(*db_, *scope.optimizer, &estimator, scope.mvs, options);
+    response.result = strategy->Run(&advisor, request.workload, budget_bytes);
+  } catch (const std::exception& e) {
+    response.status = TuningResponse::Status::kError;
+    response.error = std::string("tuning failed: ") + e.what();
+    return response;
+  }
+
+  response.status = response.result.cancelled
+                        ? TuningResponse::Status::kCancelled
+                        : TuningResponse::Status::kOk;
+  response.report =
+      RenderTuningReport(response.result, scope.mvs, budget_bytes);
+  response.json = RenderTuningReportJson(response.result, scope.mvs,
+                                         budget_bytes, request.strategy);
+  return response;
+}
+
+AdvisorEngine::RequestScope AdvisorEngine::ScopeFor(
+    const AdvisorOptions& options) {
+  RequestScope scope;
+  if (!options.enable_mv) {
+    scope.mvs = &mvs_;
+    scope.optimizer = &optimizer_;
+    return scope;
+  }
+  // MV-enabled runs register request-specific MV definitions (named after
+  // the request's query ids) in the registry they tune against. Isolate
+  // them in a per-request registry + optimizer, or one request's MVs would
+  // leak into the next — breaking the fresh-stack identity contract.
+  // Samples stay shared: they are pure per cache key.
+  scope.request_mvs = std::make_unique<MVRegistry>(*db_, &samples_);
+  scope.request_optimizer =
+      std::make_unique<WhatIfOptimizer>(*db_, CostModelParams{});
+  scope.request_optimizer->set_mv_matcher(scope.request_mvs.get());
+  scope.mvs = scope.request_mvs.get();
+  scope.optimizer = scope.request_optimizer.get();
+  return scope;
+}
+
+AdvisorResult AdvisorEngine::TuneWithOptions(const Workload& workload,
+                                             double budget_bytes,
+                                             const AdvisorOptions& options) {
+  AdvisorOptions wired = options;
+  LendPools(&wired);
+  RequestScope scope = ScopeFor(wired);
+  SizeEstimator estimator(*db_, scope.mvs, ErrorModel(), wired.size_options);
+  Advisor advisor(*db_, *scope.optimizer, &estimator, scope.mvs, wired);
+  return advisor.Tune(workload, budget_bytes);
+}
+
+std::vector<std::string> AdvisorEngine::Strategies() const {
+  return StrategyRegistry::Global().Names();
+}
+
+}  // namespace capd

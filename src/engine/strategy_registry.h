@@ -1,0 +1,69 @@
+// String-keyed tuning strategies: the AdvisorEngine resolves
+// TuningRequest::strategy here, and embedders can register their own
+// variants next to the built-ins. Built-in names (registered before the
+// first lookup):
+//   "dta"            classic DTA, no compression
+//   "dtac-topk"      DTAc, per-query top-k selection
+//   "dtac-skyline"   DTAc, size/cost skyline selection
+//   "dtac-backtrack" DTAc, top-k + Section 6.2 backtracking
+//   "dtac-both"      DTAc, skyline + backtracking (the full tool)
+//   "staged:none"    naive staged baseline (Example 1/2), kind = NONE
+//   "staged:row"     staged baseline, compress chosen indexes with ROW
+//   "staged:page"    staged baseline, compress chosen indexes with PAGE
+#ifndef CAPD_ENGINE_STRATEGY_REGISTRY_H_
+#define CAPD_ENGINE_STRATEGY_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+
+namespace capd {
+
+// One tuning strategy: base advisor options (the engine overlays request
+// knobs: threads, caches, cancellation) plus the run itself. Implementations
+// must be stateless/thread-safe — one instance serves concurrent requests.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string description() const = 0;
+  // Base AdvisorOptions of this strategy (a preset, typically).
+  virtual AdvisorOptions MakeOptions() const = 0;
+  // Executes the strategy on an advisor already wired with MakeOptions()
+  // (plus engine overlays).
+  virtual AdvisorResult Run(Advisor* advisor, const Workload& workload,
+                            double budget_bytes) const = 0;
+};
+
+// Thread-safe name -> Strategy map. Process-global: built-ins are
+// registered on first access to Global().
+class StrategyRegistry {
+ public:
+  static StrategyRegistry& Global();
+
+  // Registering an existing name replaces it (latest wins).
+  void Register(const std::string& name,
+                std::shared_ptr<const Strategy> strategy);
+
+  // Null when unknown.
+  std::shared_ptr<const Strategy> Find(const std::string& name) const;
+
+  std::vector<std::string> Names() const;  // sorted
+
+  // "unknown strategy 'x' (known: a b c)" — the engine's error message.
+  std::string UnknownStrategyMessage(const std::string& name) const;
+
+ private:
+  StrategyRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const Strategy>> strategies_;
+};
+
+}  // namespace capd
+
+#endif  // CAPD_ENGINE_STRATEGY_REGISTRY_H_

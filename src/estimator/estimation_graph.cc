@@ -468,17 +468,27 @@ double EstimationGraph::Optimal(double f, double e, double q,
   return best_cost;
 }
 
-std::map<std::string, SampleCfResult> EstimationGraph::Execute(double f,
-                                                               ThreadPool* pool) {
+std::map<std::string, SampleCfResult> EstimationGraph::Execute(
+    double f, ThreadPool* pool, EstimationCache* cache, size_t* cache_hits) {
   std::map<std::string, SampleCfResult> results;  // every known node
   DeductionEngine engine(*db_, source_, f);
+
+  // Leaf entries are namespaced apart from the advisor's per-target entries
+  // (EstimateAll's LookupBest path): only SampleCF-pure values — never
+  // deduced ones — may be served here, or a hit could diverge from what a
+  // fresh run at f computes.
+  auto leaf_key = [](const std::string& signature) {
+    return "scf|" + signature;
+  };
 
   // Phase 1: SAMPLED nodes are independent of each other — these are the
   // leaves of every deduction chain and carry the index-build cost, so
   // they are the parallel section. Compression variants of one structure
   // are grouped so they share the materialized sample rows and the
   // uncompressed reference pack (one materialize, N compressed packs);
-  // existing (catalog-served) nodes stay singleton groups.
+  // existing (catalog-served) nodes stay singleton groups. Leaves already
+  // in the cross-round cache at exactly this fraction are served up front
+  // and skip the build entirely.
   std::vector<std::vector<size_t>> groups;
   std::map<std::string, size_t> group_of;  // structure signature -> group
   for (size_t i = 0; i < nodes_.size(); ++i) {
@@ -486,6 +496,14 @@ std::map<std::string, SampleCfResult> EstimationGraph::Execute(double f,
     if (nodes_[i].is_existing) {
       groups.push_back({i});
       continue;
+    }
+    const std::string sig = nodes_[i].def.Signature();
+    if (cache != nullptr) {
+      if (std::optional<SampleCfResult> served = cache->Lookup(leaf_key(sig), f)) {
+        results[sig] = *served;
+        if (cache_hits != nullptr) ++(*cache_hits);
+        continue;
+      }
     }
     const std::string key = nodes_[i].def.StructureSignature();
     const auto it = group_of.find(key);
@@ -518,7 +536,12 @@ std::map<std::string, SampleCfResult> EstimationGraph::Execute(double f,
           });
   for (size_t g = 0; g < groups.size(); ++g) {
     for (size_t m = 0; m < groups[g].size(); ++m) {
-      results[nodes_[groups[g][m]].def.Signature()] = group_results[g][m];
+      const IndexNode& node = nodes_[groups[g][m]];
+      const std::string sig = node.def.Signature();
+      results[sig] = group_results[g][m];
+      if (cache != nullptr && !node.is_existing) {
+        cache->Insert(leaf_key(sig), f, group_results[g][m]);
+      }
     }
   }
 

@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "estimator/deduction.h"
 #include "estimator/error_model.h"
+#include "estimator/estimation_cache.h"
 #include "estimator/sample_cf.h"
 
 namespace capd {
@@ -80,8 +81,19 @@ class EstimationGraph {
   // then compose serially in dependency order. Output is bit-identical to
   // the serial path: every node's computation is self-contained and the
   // shared sample caches seed per key, not per draw order.
+  //
+  // With a cache, SAMPLED leaves are memoized at exactly (signature, f):
+  // a hit skips the index build and a miss fills the cache. Because a
+  // SampleCF run at a fixed fraction is a pure function of the definition
+  // (samples are seeded per cache key), serving a hit is bit-identical to
+  // recomputing — the plan, the chosen fraction, and every estimate match
+  // an uncached run exactly. Deduced values are never cached: they depend
+  // on the batch's plan, not on (signature, f) alone. `cache_hits` (may be
+  // null) is incremented once per served leaf.
   std::map<std::string, SampleCfResult> Execute(double f,
-                                                ThreadPool* pool = nullptr);
+                                                ThreadPool* pool = nullptr,
+                                                EstimationCache* cache = nullptr,
+                                                size_t* cache_hits = nullptr);
 
   // Composed error of node i under the current assignment.
   ErrorStats NodeError(size_t i, double f) const;

@@ -7,6 +7,7 @@
 namespace capd {
 
 ThreadPool* SizeEstimator::Pool() {
+  if (options_.pool != nullptr) return options_.pool;
   if (options_.num_threads == 1) return nullptr;
   if (pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
@@ -19,10 +20,16 @@ SizeEstimator::BatchResult SizeEstimator::EstimateAll(
   BatchResult result;
   if (targets.empty()) return result;
 
-  // Cross-round cache: pull out every target already priced at one of the
-  // candidate fractions; only the remainder enters the graph.
+  // Cross-round cache, fast mode: pull out every target already priced at
+  // one of the candidate fractions; only the remainder enters the graph.
+  // In fraction-exact mode every target enters the graph instead, and the
+  // cache is consulted per SampleCF leaf at the chosen fraction inside
+  // Execute — slower on full hits, but provably bit-identical to an
+  // uncached run (see SizeEstimationOptions::cache_fraction_exact).
+  EstimationCache* exact_cache =
+      options_.cache_fraction_exact ? options_.cache.get() : nullptr;
   std::vector<IndexDef> fresh;
-  if (options_.cache != nullptr) {
+  if (options_.cache != nullptr && exact_cache == nullptr) {
     fresh.reserve(targets.size());
     for (const IndexDef& t : targets) {
       const std::string sig = t.Signature();
@@ -46,8 +53,11 @@ SizeEstimator::BatchResult SizeEstimator::EstimateAll(
   // result (cached entries are already there), and fills the cache.
   auto execute_plan = [&](double f) {
     result.chosen_f = f;
-    for (auto& [sig, r] : graph.Execute(f, Pool())) {
-      if (options_.cache != nullptr) options_.cache->Insert(sig, f, r);
+    for (auto& [sig, r] :
+         graph.Execute(f, Pool(), exact_cache, &result.cache_hits)) {
+      if (options_.cache != nullptr && exact_cache == nullptr) {
+        options_.cache->Insert(sig, f, r);
+      }
       result.estimates[sig] = std::move(r);
     }
     result.num_sampled = graph.NumSampled();

@@ -32,6 +32,25 @@ struct SizeEstimationOptions {
   // fraction are reused instead of re-estimated (see estimation_cache.h).
   // Shared (and thread-safe), so one cache can serve several estimators.
   std::shared_ptr<EstimationCache> cache;
+  // How `cache` is consulted.
+  //   false (default, the PR-1 behavior): a target cached at ANY candidate
+  //     fraction is served up front and skips graph planning entirely —
+  //     the cheapest mode, but a warm cache can shift the fraction search
+  //     over the remaining targets, so results are only guaranteed to
+  //     match an uncached run when the cache was filled by identical
+  //     batches.
+  //   true (the AdvisorEngine contract): every target enters the graph,
+  //     the fraction search runs exactly as if the cache were cold, and
+  //     only the SampleCF executions are memoized at (signature, chosen
+  //     f). Estimates, chosen_f, total_cost_pages, and the sampled /
+  //     deduced counts are all bit-identical to an uncached run no matter
+  //     what the cache already holds — the property that lets one warm
+  //     cache serve concurrent tuning requests deterministically.
+  bool cache_fraction_exact = false;
+  // External pool for the batch-execution phase. When set it is used
+  // instead of (and regardless of) num_threads, and is not owned: the
+  // AdvisorEngine shares one estimation pool across requests this way.
+  ThreadPool* pool = nullptr;
   // Memory bound for `cache` (approximate bytes; 0 = unbounded). Applied
   // to the cache at estimator construction — least-recently-used entries
   // are evicted once the bound is exceeded, so hundred-thousand-candidate
@@ -58,7 +77,9 @@ class SizeEstimator {
     double total_cost_pages = 0.0;
     size_t num_sampled = 0;
     size_t num_deduced = 0;
-    size_t cache_hits = 0;  // targets served from the cross-round cache
+    // Servings from the cross-round cache: whole targets in the fast mode,
+    // SampleCF leaves (targets or helper nodes) in fraction-exact mode.
+    size_t cache_hits = 0;
   };
 
   // Estimates sizes of all (compressed) targets. Uncompressed targets are
@@ -79,8 +100,9 @@ class SizeEstimator {
   const ErrorModel& model() const { return model_; }
 
  private:
-  // The pool for EstimateAll's execution phase (created on first use,
-  // reused across batches); null when options_.num_threads == 1.
+  // The pool for EstimateAll's execution phase: options_.pool when set,
+  // otherwise created on first use and reused across batches; null when
+  // options_.num_threads == 1.
   ThreadPool* Pool();
 
   const Database* db_;

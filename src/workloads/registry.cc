@@ -1,0 +1,87 @@
+#include "workloads/registry.h"
+
+#include <map>
+
+#include "workloads/sales.h"
+#include "workloads/tpcds_lite.h"
+#include "workloads/tpch.h"
+
+namespace capd {
+namespace workloads {
+namespace {
+
+using Builder = void (*)(const WorkloadSpec&, BuiltWorkload*);
+
+void BuildTpch(const WorkloadSpec& spec, BuiltWorkload* out) {
+  tpch::Options opt;
+  if (spec.rows > 0) opt.lineitem_rows = spec.rows;
+  if (spec.seed > 0) opt.seed = spec.seed;
+  opt.skew_z = spec.skew_z;
+  tpch::Build(out->db.get(), opt);
+  out->workload = tpch::MakeWorkload(*out->db, opt);
+  out->seed = opt.seed;
+}
+
+void BuildSales(const WorkloadSpec& spec, BuiltWorkload* out) {
+  sales::Options opt;
+  if (spec.rows > 0) opt.fact_rows = spec.rows;
+  if (spec.seed > 0) opt.seed = spec.seed;
+  sales::Build(out->db.get(), opt);
+  out->workload = sales::MakeWorkload(*out->db, opt);
+  out->seed = opt.seed;
+}
+
+void BuildTpcds(const WorkloadSpec& spec, BuiltWorkload* out) {
+  tpcds::Options opt;
+  if (spec.rows > 0) opt.store_sales_rows = spec.rows;
+  if (spec.seed > 0) opt.seed = spec.seed;
+  tpcds::Build(out->db.get(), opt);
+  out->workload = tpcds::MakeWorkload(*out->db, opt);
+  out->seed = opt.seed;
+}
+
+// Primary names first; aliases map to the same builder but stay out of
+// Names().
+const std::map<std::string, Builder>& Builders() {
+  static const std::map<std::string, Builder> kBuilders = {
+      {"tpch", &BuildTpch},
+      {"sales", &BuildSales},
+      {"tpcds-lite", &BuildTpcds},
+  };
+  return kBuilders;
+}
+
+const std::map<std::string, std::string>& Aliases() {
+  static const std::map<std::string, std::string> kAliases = {
+      {"tpcds", "tpcds-lite"},
+  };
+  return kAliases;
+}
+
+}  // namespace
+
+bool Build(const WorkloadSpec& spec, BuiltWorkload* out, std::string* error) {
+  std::string name = spec.name;
+  const auto alias = Aliases().find(name);
+  if (alias != Aliases().end()) name = alias->second;
+  const auto it = Builders().find(name);
+  if (it == Builders().end()) {
+    *error = "unknown workload '" + spec.name + "' (known:";
+    for (const std::string& known : Names()) *error += " " + known;
+    *error += ")";
+    return false;
+  }
+  out->db = std::make_unique<Database>();
+  it->second(spec, out);
+  return true;
+}
+
+std::vector<std::string> Names() {
+  std::vector<std::string> names;
+  names.reserve(Builders().size());
+  for (const auto& [name, builder] : Builders()) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+}  // namespace workloads
+}  // namespace capd

@@ -1,0 +1,44 @@
+// Workload registry: one code path from a (name, rows, seed, skew) spec to
+// a built Database + Workload. Collapses the per-workload stack builders
+// that benches, goldens, the engine tests and the capd_tune CLI used to
+// copy-paste, and gives string-keyed lookup ("tpch", "sales",
+// "tpcds-lite") with a clean error for unknown names.
+#ifndef CAPD_WORKLOADS_REGISTRY_H_
+#define CAPD_WORKLOADS_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "query/query.h"
+
+namespace capd {
+namespace workloads {
+
+struct WorkloadSpec {
+  std::string name;  // "tpch" | "sales" | "tpcds-lite" (alias "tpcds")
+  uint64_t rows = 0;    // fact-table rows; 0 = the workload's default scale
+  uint64_t seed = 0;    // 0 = the workload's default seed
+  double skew_z = 0.0;  // Zipf skew knob (tpch only; others ignore it)
+};
+
+struct BuiltWorkload {
+  std::unique_ptr<Database> db;
+  Workload workload;
+  uint64_t seed = 0;  // the seed actually used (spec default resolved)
+};
+
+// Builds the named dataset + workload. Returns false and sets *error
+// (never null) when spec.name is not registered; *error lists the known
+// names.
+bool Build(const WorkloadSpec& spec, BuiltWorkload* out, std::string* error);
+
+// Registered workload names, sorted (aliases excluded).
+std::vector<std::string> Names();
+
+}  // namespace workloads
+}  // namespace capd
+
+#endif  // CAPD_WORKLOADS_REGISTRY_H_

@@ -17,11 +17,8 @@
 
 #include <gtest/gtest.h>
 
-#include "advisor/advisor.h"
-#include "advisor/report.h"
-#include "workloads/sales.h"
-#include "workloads/tpcds_lite.h"
-#include "workloads/tpch.h"
+#include "engine/advisor_engine.h"
+#include "workloads/registry.h"
 
 namespace capd {
 namespace {
@@ -37,51 +34,39 @@ std::string GoldenPath(const std::string& name) {
   return std::string(CAPD_GOLDEN_DIR) + "/" + name + ".txt";
 }
 
-// One fully wired advisor stack per render; every seed is fixed so two
-// builds of the same workload are byte-identical.
+// Golden file tag -> registered strategy name.
+std::string StrategyFor(const std::string& tag) {
+  if (tag == "dtac_topk") return "dtac-topk";
+  if (tag == "dtac_skyline") return "dtac-skyline";
+  return "staged:page";
+}
+
+// One fresh AdvisorEngine per render (defaults keep the historical sample
+// seed 4242); every seed is fixed so two builds of the same workload are
+// byte-identical. The engine's shared caches stay on — the determinism
+// contract says warmth never changes the rendered bytes, and these goldens
+// are the proof pinned in CI.
 struct GoldenStack {
-  Database db;
-  Workload workload;
+  workloads::BuiltWorkload built;
 
-  std::string Render(const std::string& strategy) {
-    SampleManager samples(4242);
-    MVRegistry mvs(db, &samples);
-    WhatIfOptimizer optimizer(db, CostModelParams{});
-    optimizer.set_mv_matcher(&mvs);
-
-    AdvisorOptions options = strategy == "dtac_skyline"
-                                 ? AdvisorOptions::DTAcSkyline()
-                                 : AdvisorOptions::DTAcNone();
-    SizeEstimator estimator(db, &mvs, ErrorModel(), options.size_options);
-    Advisor advisor(db, optimizer, &estimator, &mvs, options);
-    const double budget =
-        kBudgetFrac * static_cast<double>(db.BaseDataBytes());
-    const AdvisorResult result =
-        strategy == "staged"
-            ? advisor.TuneStagedBaseline(workload, budget,
-                                         CompressionKind::kPage)
-            : advisor.Tune(workload, budget);
-    return RenderTuningReport(result, &mvs, budget);
+  std::string Render(const std::string& tag) {
+    AdvisorEngine engine(*built.db);
+    TuningRequest request;
+    request.workload = built.workload;
+    request.strategy = StrategyFor(tag);
+    request.budget = TuningBudget::Fraction(kBudgetFrac);
+    const TuningResponse response = engine.Tune(request);
+    EXPECT_TRUE(response.ok()) << response.error;
+    return response.report;
   }
 };
 
 void BuildStack(const std::string& workload_name, GoldenStack* s) {
-  if (workload_name == "tpch") {
-    tpch::Options opt;
-    opt.lineitem_rows = 2000;
-    tpch::Build(&s->db, opt);
-    s->workload = tpch::MakeWorkload(s->db, opt);
-  } else if (workload_name == "sales") {
-    sales::Options opt;
-    opt.fact_rows = 2000;
-    sales::Build(&s->db, opt);
-    s->workload = sales::MakeWorkload(s->db, opt);
-  } else {
-    tpcds::Options opt;
-    opt.store_sales_rows = 2000;
-    tpcds::Build(&s->db, opt);
-    s->workload = tpcds::MakeWorkload(s->db, opt);
-  }
+  workloads::WorkloadSpec spec;
+  spec.name = workload_name;  // "tpcds" resolves via the registry alias
+  spec.rows = 2000;
+  std::string error;
+  ASSERT_TRUE(workloads::Build(spec, &s->built, &error)) << error;
 }
 
 class GoldenReportTest
