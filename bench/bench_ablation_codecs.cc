@@ -16,18 +16,19 @@ AdvisorOptions WithVariants(std::vector<CompressionKind> kinds) {
   return o;
 }
 
-void Run() {
-  Stack s = MakeTpchStack(6000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   const Workload w = s.workload.WithInsertWeight(0.2);
   PrintHeader("Ablation: compression methods available to the advisor");
   RunImprovementTable(
-      &s, w, {0.03, 0.08, 0.20, 0.50},
+      &ctx, &s, w, {0.03, 0.08, 0.20, 0.50},
       {{"ROW only", WithVariants({CompressionKind::kRow})},
        {"PAGE only", WithVariants({CompressionKind::kPage})},
-       {"ROW+PAGE", WithVariants({CompressionKind::kRow, CompressionKind::kPage})},
-       {"all four", WithVariants({CompressionKind::kRow, CompressionKind::kPage,
-                                  CompressionKind::kGlobalDict,
-                                  CompressionKind::kRle})}});
+       {"ROW+PAGE",
+        WithVariants({CompressionKind::kRow, CompressionKind::kPage})},
+       {"all four",
+        WithVariants({CompressionKind::kRow, CompressionKind::kPage,
+                      CompressionKind::kGlobalDict, CompressionKind::kRle})}});
   std::printf("\nExpected: ROW+PAGE ~= all four (GD/RLE rarely dominate on "
               "row-store indexes); each single method loses somewhere.\n");
 }
@@ -36,7 +37,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "ablation_codecs",
+                                /*default_rows=*/6000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

@@ -11,8 +11,8 @@ namespace capd {
 namespace bench {
 namespace {
 
-void Run() {
-  Stack s = MakeTpchStack(6000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   const Workload w = s.workload.WithInsertWeight(0.2);
 
   AdvisorOptions pure = AdvisorOptions::DTAcSkyline();
@@ -24,7 +24,7 @@ void Run() {
   density_back.enumeration = EnumerationMode::kDensityGreedy;
 
   PrintHeader("Ablation: enumeration strategy (TPC-H SELECT intensive)");
-  RunImprovementTable(&s, w, {0.03, 0.08, 0.20, 0.50, 1.00},
+  RunImprovementTable(&ctx, &s, w, {0.03, 0.08, 0.20, 0.50, 1.00},
                       {{"Greedy", pure},
                        {"Density", density},
                        {"G+Backtr", back},
@@ -45,11 +45,17 @@ void Run() {
            {"D+Backtr", density_back}}) {
     const AdvisorResult r = s.Tune(options, 0.08, w);
     const size_t costings = r.stmt_costs_computed + r.stmt_costs_cached;
+    const double saved =
+        static_cast<double>(costings) /
+        static_cast<double>(std::max<size_t>(r.stmt_costs_computed, 1));
     std::printf("%-10s %12zu %12zu %12zu %9.1fx\n", name.c_str(),
                 r.what_if_calls, r.stmt_costs_computed, r.stmt_costs_cached,
-                static_cast<double>(costings) /
-                    static_cast<double>(
-                        std::max<size_t>(r.stmt_costs_computed, 1)));
+                saved);
+    const std::string key = "[" + name + ",budget=0.08,cache=on]";
+    ctx.report.AddCounter("what_if_calls" + key, r.what_if_calls);
+    ctx.report.AddCounter("stmt_costs_computed" + key, r.stmt_costs_computed);
+    ctx.report.AddCounter("stmt_costs_cached" + key, r.stmt_costs_cached);
+    ctx.report.AddValue("costings_saved_ratio" + key, saved);
   }
 }
 
@@ -57,7 +63,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "ablation_enumeration",
+                                /*default_rows=*/6000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

@@ -4,6 +4,9 @@
 #ifndef CAPD_BENCH_BENCH_COMMON_H_
 #define CAPD_BENCH_BENCH_COMMON_H_
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bench_report.h"
 #include "common/math_util.h"
 #include "engine/advisor_engine.h"
 #include "index/index_builder.h"
@@ -21,6 +25,73 @@
 
 namespace capd {
 namespace bench {
+
+// Everything a bench's Run() receives: the resolved uniform flags (rows /
+// seed defaults already applied) plus the report collecting its metrics.
+struct BenchContext {
+  BenchFlags flags;
+  BenchReport report;
+};
+
+inline double Millis(std::chrono::steady_clock::time_point a,
+                     std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+// Shared main() for every bench binary: parses the uniform
+// --rows/--seed/--threads/--json flag set, applies the bench's default
+// scale, runs it, and writes the JSON report when requested. Under
+// "--json -" the human-readable tables move to stderr so stdout carries
+// pure JSON (pipeable into jq / python3 -m json.tool). Exit codes: 0 ok,
+// 1 report I/O failure, 2 bad flags.
+inline int BenchMain(int argc, char* const* argv, const char* bench_name,
+                     uint64_t default_rows, uint64_t default_seed,
+                     void (*run)(BenchContext&)) {
+  BenchFlags flags;
+  std::string error;
+  if (!ParseBenchFlags(argc, argv, &flags, &error)) {
+    std::fprintf(stderr, "%s\nusage: %s\n", error.c_str(),
+                 BenchUsage(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.help) {
+    std::printf("usage: %s\n", BenchUsage(argv[0]).c_str());
+    return 0;
+  }
+  if (flags.rows == 0) flags.rows = default_rows;
+  if (flags.seed == 0) flags.seed = default_seed;
+  const bool json_to_stdout = flags.json_path == "-";
+  int saved_stdout = -1;
+  if (json_to_stdout) {
+    std::fflush(stdout);
+    saved_stdout = dup(STDOUT_FILENO);
+    dup2(STDERR_FILENO, STDOUT_FILENO);
+  }
+  BenchContext ctx{flags, BenchReport(bench_name)};
+  ctx.report.set_rows(flags.rows);
+  ctx.report.set_seed(flags.seed);
+  ctx.report.set_threads(flags.threads);
+  run(ctx);
+  if (json_to_stdout) {
+    std::fflush(stdout);
+    dup2(saved_stdout, STDOUT_FILENO);
+    close(saved_stdout);
+  }
+  if (!flags.json_path.empty() &&
+      !ctx.report.WriteJsonFile(flags.json_path, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// Compact deterministic rendering of a double for use inside metric names
+// ("%g": 0.03, 0.005, 1).
+inline std::string FracLabel(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
 
 // Everything a tuning experiment needs: the dataset plus an AdvisorEngine
 // owning the whole collaborator stack (samples, MVs, optimizer, pools).
@@ -153,13 +224,16 @@ inline void PrintHeader(const std::string& title) {
 
 // Runs a set of advisor variants across storage budgets (fractions of the
 // base data size) and prints an improvement-% table — the shared shape of
-// Figures 12-17.
+// Figures 12-17. Each (variant, budget) cell records its improvement (a
+// deterministic value), the what-if / statement-costing counters, and its
+// tuning wall time into ctx's report; ctx.flags.threads sets the worker
+// pool for every variant.
 struct Variant {
   std::string name;
   AdvisorOptions options;
 };
 
-inline void RunImprovementTable(Stack* s, const Workload& w,
+inline void RunImprovementTable(BenchContext* ctx, Stack* s, const Workload& w,
                                 const std::vector<double>& budget_fracs,
                                 const std::vector<Variant>& variants) {
   std::printf("%-12s", "Budget");
@@ -170,8 +244,20 @@ inline void RunImprovementTable(Stack* s, const Workload& w,
         frac * static_cast<double>(s->db->BaseDataBytes()) / 1024.0;
     std::printf("%3.0f%% (%4.0fKB)", frac * 100, kb);
     for (const Variant& v : variants) {
-      const AdvisorResult r = s->Tune(v.options, frac, w);
+      AdvisorOptions options = v.options;
+      options.num_threads = ctx->flags.threads;
+      const auto t0 = std::chrono::steady_clock::now();
+      const AdvisorResult r = s->Tune(options, frac, w);
+      const double ms = Millis(t0, std::chrono::steady_clock::now());
       std::printf(" %11.1f%%", r.improvement_percent());
+      const std::string key =
+          "[" + v.name + ",budget=" + FracLabel(frac) + "]";
+      ctx->report.AddValue("improvement_pct" + key, r.improvement_percent());
+      ctx->report.AddCounter("what_if_calls" + key, r.what_if_calls);
+      ctx->report.AddCounter("stmt_costs_computed" + key,
+                             r.stmt_costs_computed);
+      ctx->report.AddCounter("stmt_costs_cached" + key, r.stmt_costs_cached);
+      ctx->report.AddTimeMs("tune_ms" + key, ms);
     }
     std::printf("\n");
   }

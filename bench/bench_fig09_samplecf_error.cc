@@ -8,8 +8,8 @@ namespace capd {
 namespace bench {
 namespace {
 
-void Run() {
-  Stack s = MakeTpchStack(6000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   const std::vector<std::string> cols = {"l_shipdate", "l_shipmode",
                                          "l_quantity", "l_returnflag",
                                          "l_partkey", "l_discount"};
@@ -27,6 +27,11 @@ void Run() {
     std::printf("%7.1f%% %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n", f * 100,
                 Mean(ns) * 100, StdDev(ns) * 100, Mean(ld) * 100,
                 StdDev(ld) * 100);
+    const std::string key = "[f=" + FracLabel(f) + "]";
+    ctx.report.AddValue("ns_bias" + key, Mean(ns));
+    ctx.report.AddValue("ns_stddev" + key, StdDev(ns));
+    ctx.report.AddValue("ld_bias" + key, Mean(ld));
+    ctx.report.AddValue("ld_stddev" + key, StdDev(ld));
   }
   std::printf("\nPaper reference (TPC-H Z=0 fits): NS-Stddev=-0.0062 ln(f), "
               "LD-Bias=-0.015 ln(f), LD-Stddev=-0.018 ln(f)\n");
@@ -36,7 +41,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "fig09_samplecf_error",
+                                /*default_rows=*/6000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

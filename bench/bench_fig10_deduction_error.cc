@@ -53,8 +53,8 @@ std::vector<double> DeductionErrors(const Database& db,
   return errors;
 }
 
-void Run() {
-  Stack s = MakeTpchStack(6000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   const std::vector<std::string> cols = {"l_shipdate", "l_shipmode",
                                          "l_quantity", "l_returnflag",
                                          "l_partkey", "l_discount"};
@@ -63,10 +63,17 @@ void Run() {
   std::printf("%4s %10s %10s %10s %10s\n", "a", "NS-Bias", "NS-Stddev",
               "LD-Bias", "LD-Stddev");
   for (size_t a : {2u, 3u, 4u}) {
-    const auto ns = DeductionErrors(*s.db, cols, a, CompressionKind::kRow, 2, &truths);
-    const auto ld = DeductionErrors(*s.db, cols, a, CompressionKind::kPage, 2, &truths);
+    const auto ns =
+        DeductionErrors(*s.db, cols, a, CompressionKind::kRow, 2, &truths);
+    const auto ld =
+        DeductionErrors(*s.db, cols, a, CompressionKind::kPage, 2, &truths);
     std::printf("%4zu %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n", a, Mean(ns) * 100,
                 StdDev(ns) * 100, Mean(ld) * 100, StdDev(ld) * 100);
+    const std::string key = "[a=" + std::to_string(a) + "]";
+    ctx.report.AddValue("ns_bias" + key, Mean(ns));
+    ctx.report.AddValue("ns_stddev" + key, StdDev(ns));
+    ctx.report.AddValue("ld_bias" + key, Mean(ld));
+    ctx.report.AddValue("ld_stddev" + key, StdDev(ld));
   }
   std::printf("\nPaper reference (Table 3): ColExt(NS) bias=0.01a sd=0.002a; "
               "ColExt(LD) bias=-0.03a sd=0.01a\n");
@@ -76,7 +83,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "fig10_deduction_error",
+                                /*default_rows=*/6000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

@@ -5,9 +5,6 @@
 // pages indexed, Section 5.1), plus measured wall time for reference.
 // Paper shape: deduction turns size estimation from the dominating cost
 // into a modest one (~3x less estimation work).
-#include <chrono>
-#include <cstdlib>
-
 #include "bench/bench_common.h"
 
 namespace capd {
@@ -21,16 +18,13 @@ struct RunStats {
   size_t sampled = 0, deduced = 0;
 };
 
-double Millis(std::chrono::steady_clock::time_point a,
-              std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double, std::milli>(b - a).count();
-}
-
-RunStats RunOnce(bool use_deduction, uint64_t lineitem_rows) {
-  Stack s = MakeTpchStack(lineitem_rows);
+RunStats RunOnce(bool use_deduction, const BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   AdvisorOptions options = AdvisorOptions::DTAcBoth();
   options.enable_partial = true;
   options.enable_mv = true;
+  options.num_threads = ctx.flags.threads;
+  options.size_options.num_threads = ctx.flags.threads;
   options.size_options.use_deduction = use_deduction;
   // Tighter accuracy than the defaults so the choice of method matters
   // (with e very loose, a 1%-sample SampleCF passes everywhere and both
@@ -86,18 +80,34 @@ RunStats RunOnce(bool use_deduction, uint64_t lineitem_rows) {
   return stats;
 }
 
-void Run(uint64_t lineitem_rows) {
+void Record(BenchContext& ctx, const char* mode, const RunStats& s) {
+  const std::string key = std::string("[deduction=") + mode + "]";
+  ctx.report.AddValue("table_est_pages" + key, s.table_cost);
+  ctx.report.AddValue("partial_est_pages" + key, s.partial_cost);
+  ctx.report.AddValue("mv_est_pages" + key, s.mv_cost);
+  ctx.report.AddValue("total_est_pages" + key,
+                      s.table_cost + s.partial_cost + s.mv_cost);
+  ctx.report.AddCounter("num_sampled" + key, s.sampled);
+  ctx.report.AddCounter("num_deduced" + key, s.deduced);
+  ctx.report.AddTimeMs("estimation_ms" + key,
+                       s.table_ms + s.partial_ms + s.mv_ms);
+  ctx.report.AddTimeMs("other_ms" + key, s.other_ms);
+}
+
+void Run(BenchContext& ctx) {
   PrintHeader("Figure 11: size-estimation cost with/without deduction");
-  std::printf("%-18s %14s %14s\n", "component", "w/o deduction", "with deduction");
-  const RunStats without = RunOnce(false, lineitem_rows);
-  const RunStats with = RunOnce(true, lineitem_rows);
+  std::printf("%-18s %14s %14s\n", "component", "w/o deduction",
+              "with deduction");
+  const RunStats without = RunOnce(false, ctx);
+  const RunStats with = RunOnce(true, ctx);
   std::printf("%-18s %11.0f pg %11.0f pg\n", "Table-Estimate",
               without.table_cost, with.table_cost);
   std::printf("%-18s %11.0f pg %11.0f pg\n", "Partial-Estimate",
               without.partial_cost, with.partial_cost);
   std::printf("%-18s %11.0f pg %11.0f pg\n", "MV-Estimate", without.mv_cost,
               with.mv_cost);
-  const double wo_total = without.table_cost + without.partial_cost + without.mv_cost;
+  const double wo_total =
+      without.table_cost + without.partial_cost + without.mv_cost;
   const double w_total = with.table_cost + with.partial_cost + with.mv_cost;
   std::printf("%-18s %11.0f pg %11.0f pg   (%.1fx less estimation work)\n",
               "TOTAL estimation", wo_total, w_total,
@@ -105,10 +115,14 @@ void Run(uint64_t lineitem_rows) {
   std::printf("%-18s %11.1f ms %11.1f ms\n", "estimation time",
               without.table_ms + without.partial_ms + without.mv_ms,
               with.table_ms + with.partial_ms + with.mv_ms);
-  std::printf("%-18s %11.1f ms %11.1f ms\n", "Other (tuning)", without.other_ms,
-              with.other_ms);
+  std::printf("%-18s %11.1f ms %11.1f ms\n", "Other (tuning)",
+              without.other_ms, with.other_ms);
   std::printf("%-18s %8zu/%zu  %10zu/%zu  (sampled/deduced)\n", "methods",
               without.sampled, without.deduced, with.sampled, with.deduced);
+  Record(ctx, "off", without);
+  Record(ctx, "on", with);
+  ctx.report.AddValue("estimation_work_ratio",
+                      w_total > 0 ? wo_total / w_total : 0.0);
   std::printf("\nPaper shape: deduction drops estimation from dominating "
               "(700s vs 500s other) to modest (200s), ~3x less.\n");
 }
@@ -117,17 +131,8 @@ void Run(uint64_t lineitem_rows) {
 }  // namespace bench
 }  // namespace capd
 
-// Usage: bench_fig11_estimation_cost [lineitem_rows] (default 24000; CI
-// smoke runs use a tiny row count).
 int main(int argc, char** argv) {
-  uint64_t rows = 24000;
-  if (argc > 1) {
-    rows = std::strtoull(argv[1], nullptr, 10);
-    if (rows == 0) {
-      std::fprintf(stderr, "invalid row count '%s'\n", argv[1]);
-      return 1;
-    }
-  }
-  capd::bench::Run(rows);
-  return 0;
+  return capd::bench::BenchMain(argc, argv, "fig11_estimation_cost",
+                                /*default_rows=*/24000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

@@ -8,13 +8,12 @@ namespace capd {
 namespace bench {
 namespace {
 
-void Run() {
-  Stack s = MakeTpchStack(6000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   const Workload w = s.workload.WithInsertWeight(0.2);  // SELECT intensive
   PrintHeader(
       "Figure 12: TPC-H SELECT intensive, candidate/enumeration on-off");
-  RunImprovementTable(&s, w,
-                      {0.03, 0.08, 0.20, 0.50, 1.00},
+  RunImprovementTable(&ctx, &s, w, {0.03, 0.08, 0.20, 0.50, 1.00},
                       {{"DTAc(Both)", AdvisorOptions::DTAcBoth()},
                        {"Skyline", AdvisorOptions::DTAcSkyline()},
                        {"Backtrack", AdvisorOptions::DTAcBacktrack()},
@@ -28,7 +27,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "fig12_tpch_select_onoff",
+                                /*default_rows=*/6000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

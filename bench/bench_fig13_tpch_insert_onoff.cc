@@ -7,13 +7,12 @@ namespace capd {
 namespace bench {
 namespace {
 
-void Run() {
-  Stack s = MakeTpchStack(6000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   const Workload w = s.workload.WithInsertWeight(3.0);  // INSERT intensive
   PrintHeader(
       "Figure 13: TPC-H INSERT intensive, candidate/enumeration on-off");
-  RunImprovementTable(&s, w,
-                      {0.03, 0.08, 0.20, 0.50, 1.00},
+  RunImprovementTable(&ctx, &s, w, {0.03, 0.08, 0.20, 0.50, 1.00},
                       {{"DTAc(Both)", AdvisorOptions::DTAcBoth()},
                        {"Skyline", AdvisorOptions::DTAcSkyline()},
                        {"Backtrack", AdvisorOptions::DTAcBacktrack()},
@@ -27,7 +26,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "fig13_tpch_insert_onoff",
+                                /*default_rows=*/6000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

@@ -8,11 +8,11 @@ namespace capd {
 namespace bench {
 namespace {
 
-void Run() {
-  Stack s = MakeSalesStack(8000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeSalesStack(ctx.flags.rows, ctx.flags.seed);
   const Workload w = s.workload.WithInsertWeight(0.2);
   PrintHeader("Figure 14: Sales SELECT intensive, DTAc vs DTA");
-  RunImprovementTable(&s, w, {0.0, 0.05, 0.12, 0.25, 0.50, 1.00},
+  RunImprovementTable(&ctx, &s, w, {0.0, 0.05, 0.12, 0.25, 0.50, 1.00},
                       {{"DTAc", AdvisorOptions::DTAcBoth()},
                        {"DTA", AdvisorOptions::DTA()}});
   std::printf("\nPaper shape: DTAc above DTA at every budget; both rise "
@@ -23,7 +23,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "fig14_sales_select",
+                                /*default_rows=*/8000,
+                                /*default_seed=*/424242, capd::bench::Run);
 }

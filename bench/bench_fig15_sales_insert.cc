@@ -7,11 +7,11 @@ namespace capd {
 namespace bench {
 namespace {
 
-void Run() {
-  Stack s = MakeSalesStack(8000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeSalesStack(ctx.flags.rows, ctx.flags.seed);
   const Workload w = s.workload.WithInsertWeight(3.0);
   PrintHeader("Figure 15: Sales INSERT intensive, DTAc vs DTA");
-  RunImprovementTable(&s, w, {0.0, 0.05, 0.12, 0.25, 0.50, 1.00},
+  RunImprovementTable(&ctx, &s, w, {0.0, 0.05, 0.12, 0.25, 0.50, 1.00},
                       {{"DTAc", AdvisorOptions::DTAcBoth()},
                        {"DTA", AdvisorOptions::DTA()}});
   std::printf("\nPaper shape: improvements flatten with budget (designs for "
@@ -22,7 +22,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "fig15_sales_insert",
+                                /*default_rows=*/8000,
+                                /*default_seed=*/424242, capd::bench::Run);
 }

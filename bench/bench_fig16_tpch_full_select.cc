@@ -8,8 +8,8 @@ namespace capd {
 namespace bench {
 namespace {
 
-void Run() {
-  Stack s = MakeTpchStack(6000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   const Workload w = s.workload.WithInsertWeight(0.2);
   AdvisorOptions dtac = AdvisorOptions::DTAcBoth();
   dtac.enable_partial = true;
@@ -18,7 +18,7 @@ void Run() {
   dta.enable_partial = true;
   dta.enable_mv = true;
   PrintHeader("Figure 16: TPC-H SELECT intensive, all features, DTAc vs DTA");
-  RunImprovementTable(&s, w, {0.0, 0.05, 0.12, 0.25, 0.50, 1.00},
+  RunImprovementTable(&ctx, &s, w, {0.0, 0.05, 0.12, 0.25, 0.50, 1.00},
                       {{"DTAc", dtac}, {"DTA", dta}});
   std::printf("\nPaper shape: DTAc ~2x DTA's improvement at tight budgets; "
               "gap narrows as budget grows.\n");
@@ -28,7 +28,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "fig16_tpch_full_select",
+                                /*default_rows=*/6000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

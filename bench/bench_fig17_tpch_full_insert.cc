@@ -7,8 +7,8 @@ namespace capd {
 namespace bench {
 namespace {
 
-void Run() {
-  Stack s = MakeTpchStack(6000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   const Workload w = s.workload.WithInsertWeight(3.0);
   AdvisorOptions dtac = AdvisorOptions::DTAcBoth();
   dtac.enable_partial = true;
@@ -17,7 +17,7 @@ void Run() {
   dta.enable_partial = true;
   dta.enable_mv = true;
   PrintHeader("Figure 17: TPC-H INSERT intensive, all features, DTAc vs DTA");
-  RunImprovementTable(&s, w, {0.0, 0.05, 0.12, 0.25, 0.50, 1.00},
+  RunImprovementTable(&ctx, &s, w, {0.0, 0.05, 0.12, 0.25, 0.50, 1.00},
                       {{"DTAc", dtac}, {"DTA", dta}});
   std::printf("\nPaper shape: DTAc >= DTA; designs similar at large budgets "
               "(DTAc chooses not to compress under heavy updates).\n");
@@ -27,7 +27,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "fig17_tpch_full_insert",
+                                /*default_rows=*/6000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

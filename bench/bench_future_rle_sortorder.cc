@@ -9,8 +9,8 @@ namespace capd {
 namespace bench {
 namespace {
 
-void Run() {
-  Stack s = MakeTpchStack(8000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   IndexBuilder builder(s.db->table("lineitem"));
   const std::vector<std::string> cols = {"l_returnflag", "l_shipmode",
                                          "l_shipdate", "l_partkey"};
@@ -32,6 +32,9 @@ void Run() {
     const double cf = builder.TrueCompressionFraction(def);
     std::printf("%-14s %9.1f%% %14llu\n", lead.c_str(), cf * 100,
                 static_cast<unsigned long long>(stats.column(lead).distinct));
+    const std::string key = "[lead=" + lead + "]";
+    ctx.report.AddValue("rle_cf" + key, cf);
+    ctx.report.AddCounter("distinct" + key, stats.column(lead).distinct);
   }
   std::printf("\nExpected: cf improves monotonically as the leading column's "
               "cardinality drops (longest runs), the Section 8 column-store "
@@ -42,7 +45,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "future_rle_sortorder",
+                                /*default_rows=*/8000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

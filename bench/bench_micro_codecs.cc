@@ -1,14 +1,18 @@
-// Micro-benchmarks of the compression codecs (google-benchmark). These are
-// the stand-in for the whitepaper [13] measurements the paper calibrates
-// the alpha/beta CPU constants from: per-tuple compression (alpha) and
-// per-tuple-per-column decompression (beta) costs, with PAGE > ROW.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks of the compression codecs. These are the stand-in for
+// the whitepaper [13] measurements the paper calibrates the alpha/beta CPU
+// constants from: per-tuple compression (alpha) and per-tuple-per-column
+// decompression (beta) costs, with PAGE > ROW — plus each codec's
+// compression fraction on the bench data (deterministic at a pinned seed).
+// Hand-rolled timing loops rather than google-benchmark so the binary
+// always builds and shares the uniform bench flag set (--rows sets the
+// tuples per page, --seed the data generator).
+#include "bench/bench_common.h"
 #include "common/random.h"
 #include "compress/codec_factory.h"
 #include "storage/encoding.h"
 
 namespace capd {
+namespace bench {
 namespace {
 
 Schema BenchSchema() {
@@ -18,73 +22,80 @@ Schema BenchSchema() {
                  {"d", ValueType::kDouble, 8}});
 }
 
-std::vector<Row> BenchRows(size_t n) {
-  Random rng(7);
+std::vector<Row> BenchRows(size_t n, uint64_t seed) {
+  Random rng(seed);
   const char* kWords[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
   std::vector<Row> rows;
   rows.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    rows.push_back({Value::Int64(rng.Uniform(0, 500)),
-                    Value::String(kWords[rng.Next(5)]),
-                    Value::Int64(rng.Uniform(0, 1000000)),
-                    Value::Double(static_cast<double>(rng.Uniform(0, 1 << 20)))});
+    rows.push_back(
+        {Value::Int64(rng.Uniform(0, 500)),
+         Value::String(kWords[rng.Next(5)]),
+         Value::Int64(rng.Uniform(0, 1000000)),
+         Value::Double(static_cast<double>(rng.Uniform(0, 1 << 20)))});
   }
   return rows;
 }
 
-void BM_Compress(benchmark::State& state) {
-  const auto kind = static_cast<CompressionKind>(state.range(0));
+// Repeats op() until ~50ms of wall time has accumulated and returns the
+// per-call average in microseconds.
+template <typename Fn>
+double TimeUsPerCall(Fn&& op) {
+  // Warm up + first measurement to pick an iteration count.
+  const auto w0 = std::chrono::steady_clock::now();
+  op();
+  const double once_ms =
+      std::max(Millis(w0, std::chrono::steady_clock::now()), 1e-6);
+  const size_t iters =
+      std::max<size_t>(1, static_cast<size_t>(50.0 / once_ms));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < iters; ++i) op();
+  const double total_ms = Millis(t0, std::chrono::steady_clock::now());
+  return total_ms * 1000.0 / static_cast<double>(iters);
+}
+
+void Run(BenchContext& ctx) {
   const Schema schema = BenchSchema();
-  const std::vector<Row> rows = BenchRows(256);
-  const std::unique_ptr<Codec> codec = MakeCodec(kind, schema, rows);
+  const size_t rows_per_page = static_cast<size_t>(ctx.flags.rows);
+  const std::vector<Row> rows = BenchRows(rows_per_page, ctx.flags.seed);
   const EncodedPage page = EncodeRows(rows, schema, 0, rows.size());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(codec->CompressPage(page));
-  }
-  state.SetItemsProcessed(state.iterations() * 256);
-  state.SetLabel(CompressionKindName(kind));
-}
-
-void BM_Decompress(benchmark::State& state) {
-  const auto kind = static_cast<CompressionKind>(state.range(0));
-  const Schema schema = BenchSchema();
-  const std::vector<Row> rows = BenchRows(256);
-  const std::unique_ptr<Codec> codec = MakeCodec(kind, schema, rows);
-  const std::string blob =
-      codec->CompressPage(EncodeRows(rows, schema, 0, rows.size()));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(codec->DecompressPage(blob));
-  }
-  state.SetItemsProcessed(state.iterations() * 256);
-  state.SetLabel(CompressionKindName(kind));
-}
-
-void BM_CompressedSizeRatio(benchmark::State& state) {
-  // Not a timing benchmark per se: reports the compression fraction each
-  // codec achieves on the bench data as the counter "cf".
-  const auto kind = static_cast<CompressionKind>(state.range(0));
-  const Schema schema = BenchSchema();
-  const std::vector<Row> rows = BenchRows(256);
-  const std::unique_ptr<Codec> codec = MakeCodec(kind, schema, rows);
   const std::unique_ptr<Codec> none =
       MakeCodec(CompressionKind::kNone, schema, rows);
-  const EncodedPage page = EncodeRows(rows, schema, 0, rows.size());
-  double cf = 1.0;
-  for (auto _ : state) {
+  const std::string base = none->CompressPage(page);
+
+  PrintHeader("Codec micro-benchmarks (alpha/beta CPU constants)");
+  std::printf("%-12s %14s %14s %10s\n", "codec", "compress[us]",
+              "decompress[us]", "cf");
+  for (CompressionKind kind :
+       {CompressionKind::kNone, CompressionKind::kRow, CompressionKind::kPage,
+        CompressionKind::kGlobalDict, CompressionKind::kRle}) {
+    const std::unique_ptr<Codec> codec = MakeCodec(kind, schema, rows);
     const std::string blob = codec->CompressPage(page);
-    const std::string base = none->CompressPage(page);
-    cf = static_cast<double>(blob.size()) / static_cast<double>(base.size());
-    benchmark::DoNotOptimize(cf);
+    const double compress_us =
+        TimeUsPerCall([&] { codec->CompressPage(page); });
+    const double decompress_us =
+        TimeUsPerCall([&] { codec->DecompressPage(blob); });
+    const double cf =
+        static_cast<double>(blob.size()) / static_cast<double>(base.size());
+    std::printf("%-12s %14.2f %14.2f %9.3f\n", CompressionKindName(kind),
+                compress_us, decompress_us, cf);
+    const std::string key =
+        std::string("[codec=") + CompressionKindName(kind) + "]";
+    ctx.report.AddTimeMs("compress_us_per_page" + key, compress_us);
+    ctx.report.AddTimeMs("decompress_us_per_page" + key, decompress_us);
+    ctx.report.AddValue("cf" + key, cf);
+    ctx.report.AddCounter("compressed_bytes" + key, blob.size());
   }
-  state.counters["cf"] = cf;
-  state.SetLabel(CompressionKindName(kind));
+  std::printf("\nExpected: PAGE(LD) compress/decompress > ROW(NS); cf "
+              "orders ROW < PAGE on this mixed-type data.\n");
 }
 
-BENCHMARK(BM_Compress)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_Decompress)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_CompressedSizeRatio)->DenseRange(0, 4);
-
 }  // namespace
+}  // namespace bench
 }  // namespace capd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "micro_codecs",
+                                /*default_rows=*/256,
+                                /*default_seed=*/7, capd::bench::Run);
+}

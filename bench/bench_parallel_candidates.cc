@@ -9,8 +9,6 @@
 // on one cache key may each run the optimizer, shifting computed/cached
 // slightly between thread counts while the recommendation stays
 // identical.)
-// Usage: bench_parallel_candidates [lineitem_rows] (default 24000).
-#include <cstdlib>
 #include <cstring>
 
 #include "bench/bench_common.h"
@@ -47,8 +45,18 @@ void PrintPhaseHeader() {
               "identical");
 }
 
-void Run(uint64_t lineitem_rows) {
-  Stack s = MakeTpchStack(lineitem_rows);
+void RecordRow(BenchContext* ctx, const std::string& key,
+               const AdvisorResult& r, bool identical) {
+  ctx->report.AddTimeMs("estimation_ms" + key, r.estimation_ms);
+  ctx->report.AddTimeMs("selection_ms" + key, r.selection_ms);
+  ctx->report.AddTimeMs("enumeration_ms" + key, r.enumeration_ms);
+  ctx->report.AddCounter("stmt_costs_computed" + key, r.stmt_costs_computed);
+  ctx->report.AddCounter("stmt_costs_cached" + key, r.stmt_costs_cached);
+  ctx->report.AddCounter("identical" + key, identical ? 1 : 0);
+}
+
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   const Workload w = s.workload.WithInsertWeight(0.2);
   const double budget = 0.20;
 
@@ -69,8 +77,10 @@ void Run(uint64_t lineitem_rows) {
     options.cost_cache = use_cache;
     const AdvisorResult r = s.Tune(options, budget, w);
     if (!use_cache) serial = r;
-    PrintRow(use_cache ? "cache-on" : "cache-off", r,
-             SameRecommendation(serial, r));
+    const bool identical = SameRecommendation(serial, r);
+    PrintRow(use_cache ? "cache-on" : "cache-off", r, identical);
+    RecordRow(&ctx, std::string("[cache=") + (use_cache ? "on" : "off") + "]",
+              r, identical);
   }
 
   PrintHeader("Candidate selection + enumeration thread scaling (cache on)");
@@ -82,7 +92,9 @@ void Run(uint64_t lineitem_rows) {
     const AdvisorResult r = s.Tune(options, budget, w);
     char label[16];
     std::snprintf(label, sizeof(label), "t=%d", threads);
-    PrintRow(label, r, SameRecommendation(serial, r));
+    const bool identical = SameRecommendation(serial, r);
+    PrintRow(label, r, identical);
+    RecordRow(&ctx, "[threads=" + std::to_string(threads) + "]", r, identical);
   }
 
   PrintHeader("Staged baseline (stage 1 + stage 2 on the pool)");
@@ -100,7 +112,10 @@ void Run(uint64_t lineitem_rows) {
     if (threads == 1) staged_serial = r;
     char label[16];
     std::snprintf(label, sizeof(label), "staged t=%d", threads);
-    PrintRow(label, r, SameRecommendation(staged_serial, r));
+    const bool identical = SameRecommendation(staged_serial, r);
+    PrintRow(label, r, identical);
+    RecordRow(&ctx, "[staged,threads=" + std::to_string(threads) + "]", r,
+              identical);
   }
 }
 
@@ -109,14 +124,7 @@ void Run(uint64_t lineitem_rows) {
 }  // namespace capd
 
 int main(int argc, char** argv) {
-  uint64_t rows = 24000;
-  if (argc > 1) {
-    rows = std::strtoull(argv[1], nullptr, 10);
-    if (rows == 0) {
-      std::fprintf(stderr, "invalid row count '%s'\n", argv[1]);
-      return 1;
-    }
-  }
-  capd::bench::Run(rows);
-  return 0;
+  return capd::bench::BenchMain(argc, argv, "parallel_candidates",
+                                /*default_rows=*/24000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

@@ -6,9 +6,6 @@
 // bit-identical in every configuration. A shared estimation cache prices
 // the candidate pool once up front so the timed runs measure the search
 // loop, not size estimation.
-// Usage: bench_parallel_enumerate [lineitem_rows] (default 24000).
-#include <chrono>
-#include <cstdlib>
 #include <cstring>
 
 #include "bench/bench_common.h"
@@ -16,11 +13,6 @@
 namespace capd {
 namespace bench {
 namespace {
-
-double Millis(std::chrono::steady_clock::time_point a,
-              std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double, std::milli>(b - a).count();
-}
 
 bool SameRecommendation(const AdvisorResult& a, const AdvisorResult& b) {
   if (std::memcmp(&a.final_cost, &b.final_cost, sizeof(double)) != 0) {
@@ -36,8 +28,8 @@ bool SameRecommendation(const AdvisorResult& a, const AdvisorResult& b) {
   return true;
 }
 
-void Run(uint64_t lineitem_rows) {
-  Stack s = MakeTpchStack(lineitem_rows);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   const Workload w = s.workload.WithInsertWeight(0.2);
   const double budget = 0.20;
 
@@ -58,17 +50,24 @@ void Run(uint64_t lineitem_rows) {
     const AdvisorResult r = s.Tune(options, budget, w);
     const double ms = Millis(t0, std::chrono::steady_clock::now());
     const size_t costings = r.stmt_costs_computed + r.stmt_costs_cached;
+    const double saved =
+        static_cast<double>(costings) /
+        static_cast<double>(std::max<size_t>(r.stmt_costs_computed, 1));
     std::printf("%-10s %12zu %12zu %12zu %9.1fx %7.1f ms\n",
                 use_cache ? "on" : "off", r.what_if_calls,
-                r.stmt_costs_computed, r.stmt_costs_cached,
-                static_cast<double>(costings) /
-                    static_cast<double>(std::max<size_t>(
-                        r.stmt_costs_computed, 1)),
-                ms);
+                r.stmt_costs_computed, r.stmt_costs_cached, saved, ms);
     (use_cache ? cached : uncached) = r;
+    const std::string key = std::string("[cache=") +
+                            (use_cache ? "on" : "off") + "]";
+    ctx.report.AddCounter("what_if_calls" + key, r.what_if_calls);
+    ctx.report.AddCounter("stmt_costs_computed" + key, r.stmt_costs_computed);
+    ctx.report.AddCounter("stmt_costs_cached" + key, r.stmt_costs_cached);
+    ctx.report.AddValue("costings_saved_ratio" + key, saved);
+    ctx.report.AddTimeMs("tune_ms" + key, ms);
   }
-  std::printf("identical recommendation: %s\n",
-              SameRecommendation(uncached, cached) ? "yes" : "NO");
+  const bool cache_identical = SameRecommendation(uncached, cached);
+  std::printf("identical recommendation: %s\n", cache_identical ? "yes" : "NO");
+  ctx.report.AddCounter("identical[cache=on]", cache_identical ? 1 : 0);
 
   PrintHeader("Enumeration thread scaling (cost cache on)");
   std::printf("%-8s %12s %10s %10s\n", "threads", "time", "speedup",
@@ -82,9 +81,12 @@ void Run(uint64_t lineitem_rows) {
     const AdvisorResult r = s.Tune(options, budget, w);
     const double ms = Millis(t0, std::chrono::steady_clock::now());
     if (threads == 1) serial_ms = ms;
+    const bool identical = SameRecommendation(uncached, r);
     std::printf("%-8d %9.1f ms %9.2fx %10s\n", threads, ms,
-                serial_ms / std::max(ms, 1e-9),
-                SameRecommendation(uncached, r) ? "yes" : "NO");
+                serial_ms / std::max(ms, 1e-9), identical ? "yes" : "NO");
+    const std::string key = "[threads=" + std::to_string(threads) + "]";
+    ctx.report.AddTimeMs("tune_ms" + key, ms);
+    ctx.report.AddCounter("identical" + key, identical ? 1 : 0);
   }
 }
 
@@ -93,14 +95,7 @@ void Run(uint64_t lineitem_rows) {
 }  // namespace capd
 
 int main(int argc, char** argv) {
-  uint64_t rows = 24000;
-  if (argc > 1) {
-    rows = std::strtoull(argv[1], nullptr, 10);
-    if (rows == 0) {
-      std::fprintf(stderr, "invalid row count '%s'\n", argv[1]);
-      return 1;
-    }
-  }
-  capd::bench::Run(rows);
-  return 0;
+  return capd::bench::BenchMain(argc, argv, "parallel_enumerate",
+                                /*default_rows=*/24000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

@@ -3,9 +3,6 @@
 // TPC-H) executed with 1/2/4/8 worker threads, verifying byte-identical
 // results at every thread count, plus the cross-round estimation cache
 // (second advisor round priced from cache instead of re-sampled).
-// Usage: bench_parallel_estimation [lineitem_rows] (default 24000).
-#include <chrono>
-#include <cstdlib>
 #include <cstring>
 
 #include "advisor/candidates.h"
@@ -14,11 +11,6 @@
 namespace capd {
 namespace bench {
 namespace {
-
-double Millis(std::chrono::steady_clock::time_point a,
-              std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double, std::milli>(b - a).count();
-}
 
 bool SameEstimates(const SizeEstimator::BatchResult& a,
                    const SizeEstimator::BatchResult& b) {
@@ -34,9 +26,9 @@ bool SameEstimates(const SizeEstimator::BatchResult& a,
   return true;
 }
 
-void Run(uint64_t lineitem_rows) {
+void Run(BenchContext& ctx) {
   PrintHeader("Parallel size estimation: thread scaling, Fig.11 workload");
-  Stack s = MakeTpchStack(lineitem_rows);
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   AdvisorOptions options = AdvisorOptions::DTAcBoth();
   options.enable_partial = true;
   options.enable_mv = true;
@@ -50,7 +42,8 @@ void Run(uint64_t lineitem_rows) {
   }
   std::printf("targets: %zu compressed candidates, lineitem=%llu rows\n",
               targets.size(),
-              static_cast<unsigned long long>(lineitem_rows));
+              static_cast<unsigned long long>(ctx.flags.rows));
+  ctx.report.AddCounter("targets", targets.size());
 
   // Warm the shared sample caches once so every timed run measures the
   // estimation work itself (index builds on samples), not sample drawing.
@@ -71,14 +64,17 @@ void Run(uint64_t lineitem_rows) {
     const auto t0 = std::chrono::steady_clock::now();
     const SizeEstimator::BatchResult batch = estimator.EstimateAll(targets);
     const double ms = Millis(t0, std::chrono::steady_clock::now());
+    const bool identical = threads == 1 || SameEstimates(baseline, batch);
     if (threads == 1) {
       serial_ms = ms;
       baseline = batch;
     }
     std::printf("%-8d %9.1f ms %9.2fx %10s\n", threads, ms,
                 serial_ms / std::max(ms, 1e-9),
-                threads == 1 ? "-" : SameEstimates(baseline, batch) ? "yes"
-                                                                    : "NO");
+                threads == 1 ? "-" : identical ? "yes" : "NO");
+    const std::string key = "[threads=" + std::to_string(threads) + "]";
+    ctx.report.AddTimeMs("estimate_all_ms" + key, ms);
+    ctx.report.AddCounter("identical" + key, identical ? 1 : 0);
   }
 
   PrintHeader("Cross-round estimation cache: repeat pricing of one pool");
@@ -92,6 +88,10 @@ void Run(uint64_t lineitem_rows) {
     const double ms = Millis(t0, std::chrono::steady_clock::now());
     std::printf("%-8d %9.1f ms %12.0f %12zu\n", round, ms,
                 batch.total_cost_pages, batch.cache_hits);
+    const std::string key = "[round=" + std::to_string(round) + "]";
+    ctx.report.AddTimeMs("round_ms" + key, ms);
+    ctx.report.AddValue("cost_pages" + key, batch.total_cost_pages);
+    ctx.report.AddCounter("cache_hits" + key, batch.cache_hits);
   }
 }
 
@@ -100,14 +100,7 @@ void Run(uint64_t lineitem_rows) {
 }  // namespace capd
 
 int main(int argc, char** argv) {
-  uint64_t rows = 24000;
-  if (argc > 1) {
-    rows = std::strtoull(argv[1], nullptr, 10);
-    if (rows == 0) {
-      std::fprintf(stderr, "invalid row count '%s'\n", argv[1]);
-      return 1;
-    }
-  }
-  capd::bench::Run(rows);
-  return 0;
+  return capd::bench::BenchMain(argc, argv, "parallel_estimation",
+                                /*default_rows=*/24000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

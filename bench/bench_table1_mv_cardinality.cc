@@ -8,8 +8,8 @@ namespace capd {
 namespace bench {
 namespace {
 
-void Run() {
-  Stack s = MakeTpchStack(8000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
 
   // Aggregation MVs in the spirit of those DTA considers for TPC-H: group
   // bys over single columns, column pairs, and joined dimensions.
@@ -58,9 +58,18 @@ void Run() {
     std::printf("%-8s %12.0f %11.0f%% %11.0f%% %11.0f%%\n", def.name.c_str(),
                 truth, err(est.optimizer) * 100, err(est.multiply) * 100,
                 err(est.adaptive) * 100);
+    const std::string key = "[mv=" + def.name + "]";
+    ctx.report.AddCounter("true_tuples" + key,
+                          static_cast<uint64_t>(truth));
+    ctx.report.AddValue("err_optimizer" + key, err(est.optimizer));
+    ctx.report.AddValue("err_multiply" + key, err(est.multiply));
+    ctx.report.AddValue("err_adaptive" + key, err(est.adaptive));
   }
   std::printf("%-8s %12s %11.0f%% %11.0f%% %11.0f%%\n", "AVERAGE", "",
               Mean(opt_err) * 100, Mean(mult_err) * 100, Mean(ae_err) * 100);
+  ctx.report.AddValue("avg_err_optimizer", Mean(opt_err));
+  ctx.report.AddValue("avg_err_multiply", Mean(mult_err));
+  ctx.report.AddValue("avg_err_adaptive", Mean(ae_err));
   std::printf("\nPaper reference: Optimizer 96%%, Multiply 379%%, AE 6%%\n");
 }
 
@@ -68,7 +77,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "table1_mv_cardinality",
+                                /*default_rows=*/8000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

@@ -24,9 +24,11 @@ Fit FitDataset(const Database& db, const std::string& table,
   std::vector<double> ld_bias_ys, ns_sd_ys, ld_sd_ys;
   for (double f : fractions) {
     const auto ns = SampleCfErrors(
-        db, IndexZoo(table, cols, CompressionKind::kRow, 16), f, 2, 17, &truths);
+        db, IndexZoo(table, cols, CompressionKind::kRow, 16), f, 2, 17,
+        &truths);
     const auto ld = SampleCfErrors(
-        db, IndexZoo(table, cols, CompressionKind::kPage, 16), f, 2, 17, &truths);
+        db, IndexZoo(table, cols, CompressionKind::kPage, 16), f, 2, 17,
+        &truths);
     xs.push_back(f);
     ld_bias_ys.push_back(Mean(ld));
     ns_sd_ys.push_back(StdDev(ns));
@@ -39,7 +41,14 @@ Fit FitDataset(const Database& db, const std::string& table,
   return fit;
 }
 
-void Run() {
+void Record(BenchContext& ctx, const std::string& dataset, const Fit& fit) {
+  const std::string key = "[ds=" + dataset + "]";
+  ctx.report.AddValue("ld_bias_coeff" + key, fit.ld_bias);
+  ctx.report.AddValue("ns_stddev_coeff" + key, fit.ns_stddev);
+  ctx.report.AddValue("ld_stddev_coeff" + key, fit.ld_stddev);
+}
+
+void Run(BenchContext& ctx) {
   PrintHeader("Table 2: least-squares fit c of error = c*ln(f), by dataset");
   std::printf("%-12s %12s %12s %12s\n", "dataset", "LD-Bias", "NS-Stddev",
               "LD-Stddev");
@@ -47,21 +56,23 @@ void Run() {
                                             "l_quantity", "l_returnflag",
                                             "l_partkey"};
   for (double z : {0.0, 1.0, 3.0}) {
-    Stack s = MakeTpchStack(6000, z);
+    Stack s = MakeTpchStack(ctx.flags.rows, z, ctx.flags.seed);
     const Fit fit = FitDataset(*s.db, "lineitem", li_cols);
     std::printf("TPC-H Z=%-4.0f %9.4f lnf %9.4f lnf %9.4f lnf\n", z,
                 fit.ld_bias, fit.ns_stddev, fit.ld_stddev);
+    Record(ctx, "tpch_z" + FracLabel(z), fit);
   }
   {
     Database db;
     tpcds::Options opt;
-    opt.store_sales_rows = 6000;
+    opt.store_sales_rows = ctx.flags.rows;
     tpcds::Build(&db, opt);
     const Fit fit = FitDataset(db, "store_sales",
                                {"ss_sold_date_sk", "ss_item_sk_fk",
                                 "ss_quantity", "ss_promo"});
     std::printf("TPC-DS       %9.4f lnf %9.4f lnf %9.4f lnf\n", fit.ld_bias,
                 fit.ns_stddev, fit.ld_stddev);
+    Record(ctx, "tpcds", fit);
   }
   std::printf("\nPaper reference: LD-Bias ~ -0.013..-0.018, NS-Stddev ~ "
               "-0.0056..-0.0064, LD-Stddev ~ -0.014..-0.018 (stable)\n");
@@ -71,7 +82,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "table2_error_fit",
+                                /*default_rows=*/6000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

@@ -9,8 +9,8 @@ namespace capd {
 namespace bench {
 namespace {
 
-void Run() {
-  Stack s = MakeTpchStack(6000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   const std::vector<std::string> cols = {"l_shipdate", "l_shipmode",
                                          "l_quantity", "l_returnflag",
                                          "l_partkey", "l_discount"};
@@ -33,6 +33,8 @@ void Run() {
     }
     std::printf("%-14s bias=%8.5f  stddev=%8.5f   (paper: 0 / 0.0003)\n",
                 "ColSet(NS)", Mean(errors), StdDev(errors));
+    ctx.report.AddValue("colset_ns_bias", Mean(errors));
+    ctx.report.AddValue("colset_ns_stddev", StdDev(errors));
   }
 
   // --- ColExt: reuse the Figure 10 machinery, fit vs a. ---
@@ -48,7 +50,9 @@ void Run() {
         IndexDef target;
         target.object = "lineitem";
         target.compression = kind;
-        for (size_t k = 0; k < a; ++k) target.key_columns.push_back(cols[start + k]);
+        for (size_t k = 0; k < a; ++k) {
+          target.key_columns.push_back(cols[start + k]);
+        }
         std::vector<KnownSize> children;
         for (const std::string& col : target.key_columns) {
           IndexDef child;
@@ -60,7 +64,8 @@ void Run() {
                                        r.est_uncompressed_bytes,
                                        r.est_ns_bytes, r.est_tuples});
         }
-        const double tuples = static_cast<double>(s.db->table("lineitem").num_rows());
+        const double tuples =
+            static_cast<double>(s.db->table("lineitem").num_rows());
         const double u = estimator.UncompressedFullBytes(target, tuples);
         const double deduced = engine.DeduceColExt(target, u, tuples, children);
         const double truth = truths.FineBytes(target);
@@ -70,12 +75,15 @@ void Run() {
       bias_ys.push_back(Mean(errors));
       sd_ys.push_back(StdDev(errors));
     }
+    const bool ns = kind == CompressionKind::kRow;
+    const double bias_fit = FitLinearThroughOrigin(xs, bias_ys);
+    const double sd_fit = FitLinearThroughOrigin(xs, sd_ys);
     std::printf("%-14s bias=%8.5f a  stddev=%8.5f a   (paper: %s)\n",
-                kind == CompressionKind::kRow ? "ColExt(NS)" : "ColExt(LD)",
-                FitLinearThroughOrigin(xs, bias_ys),
-                FitLinearThroughOrigin(xs, sd_ys),
-                kind == CompressionKind::kRow ? "0.01a / 0.002a"
-                                              : "-0.03a / 0.01a");
+                ns ? "ColExt(NS)" : "ColExt(LD)", bias_fit, sd_fit,
+                ns ? "0.01a / 0.002a" : "-0.03a / 0.01a");
+    const std::string key = ns ? "colext_ns" : "colext_ld";
+    ctx.report.AddValue(key + "_bias_coeff", bias_fit);
+    ctx.report.AddValue(key + "_stddev_coeff", sd_fit);
   }
 }
 
@@ -83,7 +91,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "table3_deduction_fit",
+                                /*default_rows=*/6000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

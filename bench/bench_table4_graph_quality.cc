@@ -4,21 +4,14 @@
 // e=0.5, q=0.9, across sampling fractions. Paper shape: Greedy 2-6x cheaper
 // than All, within ~8% of Optimal on average, and orders of magnitude
 // faster than Optimal.
-#include <chrono>
-
 #include "bench/bench_common.h"
 
 namespace capd {
 namespace bench {
 namespace {
 
-double Millis(std::chrono::steady_clock::time_point a,
-              std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double, std::milli>(b - a).count();
-}
-
-void Run() {
-  Stack s = MakeTpchStack(20000);
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
   // Target compressed indexes on lineitem, up to 7 columns wide (the
   // paper's cap), with nested prefixes so deductions have structure to
   // exploit, mirroring Figure 3's AB / ABC shape.
@@ -60,6 +53,12 @@ void Run() {
     const auto t2 = std::chrono::steady_clock::now();
     std::printf("%9.1f%% %10.0f %10.0f %10.0f %12.2f %12.2f\n", f * 100, all,
                 greedy, optimal, Millis(t0, t1), Millis(t1, t2));
+    const std::string key = "[f=" + FracLabel(f) + "]";
+    ctx.report.AddValue("all_pages" + key, all);
+    ctx.report.AddValue("greedy_pages" + key, greedy);
+    ctx.report.AddValue("optimal_pages" + key, optimal);
+    ctx.report.AddTimeMs("greedy_ms" + key, Millis(t0, t1));
+    ctx.report.AddTimeMs("optimal_ms" + key, Millis(t1, t2));
   }
   std::printf("\nPaper reference (f=1..10%%): All 222..2221, Greedy 114..589, "
               "Optimal 114..444; Greedy <= +30%% of Optimal\n");
@@ -69,7 +68,8 @@ void Run() {
 }  // namespace bench
 }  // namespace capd
 
-int main() {
-  capd::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "table4_graph_quality",
+                                /*default_rows=*/20000,
+                                /*default_seed=*/20110829, capd::bench::Run);
 }

@@ -1,0 +1,102 @@
+// Machine-readable bench reporting: every bench/ binary collects its
+// metrics into a BenchReport and (under --json) emits one versioned JSON
+// document that tools/repro merges into the suite-level BENCH_<tag>.json
+// and tools/bench_diff compares across commits. Three metric kinds with
+// different regression semantics:
+//   counter — integer, deterministic at pinned (rows, seed, threads);
+//             compared exactly by bench_diff.
+//   value   — deterministic double (fit errors, improvement %, cost
+//             pages); compared exactly by default.
+//   time_ms — wall-clock; inherently noisy, compared with a relative
+//             tolerance (or report-only on shared CI runners).
+// The JSON shape is pinned by kBenchReportJsonVersion and by
+// tools/bench_schema.py — bump the version on any shape change.
+#ifndef CAPD_COMMON_BENCH_REPORT_H_
+#define CAPD_COMMON_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capd {
+
+// Value of the "schema_version" key emitted by BenchReport::ToJson.
+inline constexpr int kBenchReportJsonVersion = 1;
+
+enum class MetricKind { kCounter, kValue, kTimeMs };
+
+// "counter" | "value" | "time_ms" — the strings bench_schema.py accepts.
+const char* MetricKindName(MetricKind kind);
+
+struct BenchMetric {
+  std::string name;
+  MetricKind kind = MetricKind::kValue;
+  double value = 0.0;  // kValue / kTimeMs payload
+  uint64_t count = 0;  // kCounter payload (kept integral end to end)
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  // Run metadata, echoed under "meta" so bench_diff can refuse to compare
+  // runs taken at different scales or seeds.
+  void set_rows(uint64_t rows) { rows_ = rows; }
+  void set_seed(uint64_t seed) { seed_ = seed; }
+  void set_threads(int threads) { threads_ = threads; }
+
+  // Metric names must be unique within a report (bench_diff matches on
+  // them); a duplicate is a bench bug and aborts loudly.
+  void AddCounter(const std::string& name, uint64_t v);
+  void AddValue(const std::string& name, double v);
+  void AddTimeMs(const std::string& name, double v);
+
+  const std::string& bench_name() const { return bench_name_; }
+  const std::vector<BenchMetric>& metrics() const { return metrics_; }
+
+  // Pretty-printed JSON (2-space indent, trailing newline). Deterministic:
+  // metrics render in insertion order, doubles as shortest round-trip
+  // decimals via std::to_chars (locale-independent), counters as plain
+  // integers. Non-finite doubles become null. build_type comes from the
+  // CAPD_BUILD_TYPE compile definition, git_sha from the CAPD_GIT_SHA
+  // environment variable (tools/repro sets it); both default to "unknown".
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path` ("-" = stdout). Returns false and sets
+  // *error on I/O failure.
+  bool WriteJsonFile(const std::string& path, std::string* error) const;
+
+ private:
+  std::string bench_name_;
+  uint64_t rows_ = 0;
+  uint64_t seed_ = 0;
+  int threads_ = 1;
+  std::vector<BenchMetric> metrics_;
+};
+
+// The uniform flag set every bench binary accepts:
+//   --rows N      fact-table rows (0 / omitted = the bench's default)
+//   --seed N      dataset seed (0 / omitted = the bench's default)
+//   --threads N   worker threads for single-run benches (default 1)
+//   --json PATH   write the BenchReport JSON to PATH ("-" = stdout)
+//   --help        print usage and exit 0
+struct BenchFlags {
+  uint64_t rows = 0;
+  uint64_t seed = 0;
+  int threads = 1;
+  std::string json_path;
+  bool help = false;
+};
+
+// Parses argv into *flags. Returns false and sets *error (never null) on
+// an unknown flag, a missing argument, or a non-numeric / zero-invalid
+// value. Positional arguments are rejected — row counts travel via --rows.
+bool ParseBenchFlags(int argc, char* const* argv, BenchFlags* flags,
+                     std::string* error);
+
+// One-line usage string for `prog`.
+std::string BenchUsage(const std::string& prog);
+
+}  // namespace capd
+
+#endif  // CAPD_COMMON_BENCH_REPORT_H_

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Schema validation for the machine-readable bench pipeline.
+
+Two document shapes share schema_version 1:
+
+  * a per-bench report, emitted by a bench binary under ``--json``
+    (src/common/bench_report.cc is the writer);
+  * a suite report, ``BENCH_<tag>.json``, produced by tools/repro by
+    merging per-bench reports under a ``benches`` object.
+
+Validation is hand-rolled (no third-party jsonschema dependency): each
+function returns a list of human-readable error strings, empty when the
+document conforms. The CLI validates files and exits 2 on any error —
+that is what the CI perf-trajectory job runs against its artifact.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+METRIC_KINDS = ("counter", "value", "time_ms")
+META_INT_KEYS = ("rows", "seed", "threads")
+META_STR_KEYS = ("build_type", "git_sha")
+
+
+def _err(path, msg):
+    return "%s: %s" % (path, msg)
+
+
+def validate_metric(metric, path, seen_names):
+    errors = []
+    if not isinstance(metric, dict):
+        return [_err(path, "metric must be an object")]
+    name = metric.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(_err(path, "metric name must be a non-empty string"))
+    elif name in seen_names:
+        errors.append(_err(path, "duplicate metric name %r" % name))
+    else:
+        seen_names.add(name)
+    kind = metric.get("kind")
+    if kind not in METRIC_KINDS:
+        errors.append(
+            _err(path, "kind %r not one of %s" % (kind, list(METRIC_KINDS))))
+    value = metric.get("value")
+    if kind == "counter":
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(
+                _err(path, "counter value must be a non-negative integer, "
+                     "got %r" % (value,)))
+    else:
+        # Non-finite doubles are emitted as null.
+        if value is not None and not isinstance(value, (int, float)):
+            errors.append(
+                _err(path, "value must be a number or null, got %r" % (value,)))
+    extra = set(metric) - {"name", "kind", "value"}
+    if extra:
+        errors.append(_err(path, "unexpected keys %s" % sorted(extra)))
+    return errors
+
+
+def validate_bench(doc, path="bench"):
+    """Validates one per-bench report document."""
+    errors = []
+    if not isinstance(doc, dict):
+        return [_err(path, "report must be an object")]
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            _err(path, "schema_version must be %d, got %r"
+                 % (SCHEMA_VERSION, doc.get("schema_version"))))
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        errors.append(_err(path, "bench must be a non-empty string"))
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        errors.append(_err(path, "meta must be an object"))
+    else:
+        for key in META_INT_KEYS:
+            v = meta.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                errors.append(
+                    _err(path, "meta.%s must be a non-negative integer, "
+                         "got %r" % (key, v)))
+        for key in META_STR_KEYS:
+            if not isinstance(meta.get(key), str) or not meta.get(key):
+                errors.append(
+                    _err(path, "meta.%s must be a non-empty string" % key))
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        errors.append(_err(path, "metrics must be an array"))
+    else:
+        seen = set()
+        for i, metric in enumerate(metrics):
+            errors.extend(
+                validate_metric(metric, "%s.metrics[%d]" % (path, i), seen))
+    return errors
+
+
+def validate_suite(doc, path="suite"):
+    """Validates a merged BENCH_<tag>.json suite document."""
+    errors = []
+    if not isinstance(doc, dict):
+        return [_err(path, "suite must be an object")]
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            _err(path, "schema_version must be %d, got %r"
+                 % (SCHEMA_VERSION, doc.get("schema_version"))))
+    for key in ("tag", "git_sha", "build_type", "generator"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            errors.append(_err(path, "%s must be a non-empty string" % key))
+    if not isinstance(doc.get("quick"), bool):
+        errors.append(_err(path, "quick must be a boolean"))
+    benches = doc.get("benches")
+    if not isinstance(benches, dict) or not benches:
+        errors.append(_err(path, "benches must be a non-empty object"))
+        return errors
+    for name, bench in sorted(benches.items()):
+        bench_path = "%s.benches[%s]" % (path, name)
+        if isinstance(bench, dict):
+            figure = bench.get("figure")
+            if not isinstance(figure, str) or not figure:
+                errors.append(
+                    _err(bench_path, "figure must be a non-empty string"))
+            core = {k: v for k, v in bench.items()
+                    if k not in ("figure", "title")}
+        else:
+            core = bench
+        errors.extend(validate_bench(core, bench_path))
+        if isinstance(bench, dict) and bench.get("bench") != name:
+            errors.append(
+                _err(bench_path, "bench key %r does not match map key %r"
+                     % (bench.get("bench"), name)))
+    return errors
+
+
+def validate_file(file_path):
+    try:
+        with open(file_path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["%s: %s" % (file_path, e)]
+    if isinstance(doc, dict) and "benches" in doc:
+        return validate_suite(doc, path=file_path)
+    return validate_bench(doc, path=file_path)
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print("usage: bench_schema.py BENCH_FILE...", file=sys.stderr)
+        return 2
+    failed = False
+    for file_path in argv[1:]:
+        errors = validate_file(file_path)
+        if errors:
+            failed = True
+            for e in errors:
+                print("SCHEMA ERROR %s" % e, file=sys.stderr)
+        else:
+            print("%s: schema OK" % file_path)
+    return 2 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,336 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff and tools/bench_schema.py.
+
+Run directly (``python3 tools/test_bench_diff.py``) or via ctest as
+``bench_tools_py_test``. stdlib-only: unittest, no third-party deps.
+"""
+
+import contextlib
+import copy
+import importlib.machinery
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, TOOLS_DIR)
+import bench_schema  # noqa: E402
+
+
+def _load_bench_diff():
+    # bench_diff is an extensionless executable; load it by explicit path.
+    path = os.path.join(TOOLS_DIR, "bench_diff")
+    loader = importlib.machinery.SourceFileLoader("bench_diff", path)
+    spec = importlib.util.spec_from_loader("bench_diff", loader)
+    module = importlib.util.module_from_spec(spec)
+    loader.exec_module(module)
+    return module
+
+
+bench_diff = _load_bench_diff()
+
+
+def make_bench(name="fig_x", rows=1000, seed=7, threads=1, metrics=None):
+    if metrics is None:
+        metrics = [
+            {"name": "what_if_calls", "kind": "counter", "value": 42},
+            {"name": "improvement_pct", "kind": "value", "value": 31.25},
+            {"name": "tune_ms", "kind": "time_ms", "value": 150.0},
+        ]
+    return {
+        "schema_version": 1,
+        "bench": name,
+        "meta": {"rows": rows, "seed": seed, "threads": threads,
+                 "build_type": "Release", "git_sha": "abc1234"},
+        "metrics": metrics,
+    }
+
+
+def make_suite(benches=None, quick=True):
+    if benches is None:
+        doc = make_bench()
+        doc["figure"] = "Figure X"
+        benches = {"fig_x": doc}
+    return {
+        "schema_version": 1,
+        "tag": "test",
+        "generator": "tools/repro",
+        "git_sha": "abc1234",
+        "build_type": "Release",
+        "quick": quick,
+        "benches": benches,
+    }
+
+
+class SchemaTest(unittest.TestCase):
+    def test_valid_bench_passes(self):
+        self.assertEqual(bench_schema.validate_bench(make_bench()), [])
+
+    def test_valid_suite_passes(self):
+        self.assertEqual(bench_schema.validate_suite(make_suite()), [])
+
+    def test_wrong_schema_version(self):
+        doc = make_bench()
+        doc["schema_version"] = 2
+        errors = bench_schema.validate_bench(doc)
+        self.assertTrue(any("schema_version" in e for e in errors))
+
+    def test_duplicate_metric_names(self):
+        doc = make_bench(metrics=[
+            {"name": "x", "kind": "counter", "value": 1},
+            {"name": "x", "kind": "value", "value": 2.0},
+        ])
+        errors = bench_schema.validate_bench(doc)
+        self.assertTrue(any("duplicate" in e for e in errors))
+
+    def test_counter_must_be_nonnegative_integer(self):
+        for bad in (-1, 1.5, True, "3", None):
+            doc = make_bench(metrics=[
+                {"name": "c", "kind": "counter", "value": bad}])
+            errors = bench_schema.validate_bench(doc)
+            self.assertTrue(errors, "counter value %r accepted" % (bad,))
+
+    def test_value_may_be_null_for_nonfinite(self):
+        doc = make_bench(metrics=[
+            {"name": "v", "kind": "value", "value": None}])
+        self.assertEqual(bench_schema.validate_bench(doc), [])
+
+    def test_unknown_kind_rejected(self):
+        doc = make_bench(metrics=[
+            {"name": "v", "kind": "gauge", "value": 1.0}])
+        errors = bench_schema.validate_bench(doc)
+        self.assertTrue(any("kind" in e for e in errors))
+
+    def test_extra_metric_keys_rejected(self):
+        doc = make_bench(metrics=[
+            {"name": "v", "kind": "value", "value": 1.0, "unit": "ms"}])
+        errors = bench_schema.validate_bench(doc)
+        self.assertTrue(any("unexpected" in e for e in errors))
+
+    def test_missing_meta_key(self):
+        doc = make_bench()
+        del doc["meta"]["seed"]
+        errors = bench_schema.validate_bench(doc)
+        self.assertTrue(any("meta.seed" in e for e in errors))
+
+    def test_suite_requires_figure(self):
+        suite = make_suite()
+        del suite["benches"]["fig_x"]["figure"]
+        errors = bench_schema.validate_suite(suite)
+        self.assertTrue(any("figure" in e for e in errors))
+
+    def test_suite_bench_key_must_match(self):
+        suite = make_suite()
+        suite["benches"]["fig_x"]["bench"] = "other_name"
+        errors = bench_schema.validate_suite(suite)
+        self.assertTrue(any("does not match" in e for e in errors))
+
+    def test_validate_file_autodetects(self):
+        with tempfile.TemporaryDirectory() as d:
+            suite_path = os.path.join(d, "suite.json")
+            bench_path = os.path.join(d, "bench.json")
+            with open(suite_path, "w") as f:
+                json.dump(make_suite(), f)
+            with open(bench_path, "w") as f:
+                json.dump(make_bench(), f)
+            self.assertEqual(bench_schema.validate_file(suite_path), [])
+            self.assertEqual(bench_schema.validate_file(bench_path), [])
+
+    def test_cli_exit_codes(self):
+        with tempfile.TemporaryDirectory() as d:
+            good = os.path.join(d, "good.json")
+            bad = os.path.join(d, "bad.json")
+            with open(good, "w") as f:
+                json.dump(make_suite(), f)
+            with open(bad, "w") as f:
+                f.write("{\"schema_version\": 99}")
+            with contextlib.redirect_stdout(io.StringIO()), \
+                    contextlib.redirect_stderr(io.StringIO()):
+                self.assertEqual(bench_schema.main(["p", good]), 0)
+                self.assertEqual(bench_schema.main(["p", bad]), 2)
+                self.assertEqual(bench_schema.main(["p"]), 2)
+
+
+class BenchDiffTest(unittest.TestCase):
+    def run_diff(self, base, cur, extra_args=()):
+        with tempfile.TemporaryDirectory() as d:
+            base_path = os.path.join(d, "base.json")
+            cur_path = os.path.join(d, "cur.json")
+            with open(base_path, "w") as f:
+                json.dump(base, f)
+            with open(cur_path, "w") as f:
+                json.dump(cur, f)
+            out = io.StringIO()
+            argv = ["bench_diff", base_path, cur_path] + list(extra_args)
+            with contextlib.redirect_stdout(out):
+                code = bench_diff.main(argv)
+            return code, out.getvalue()
+
+    def mutate(self, suite, metric_name, value):
+        cur = copy.deepcopy(suite)
+        for m in cur["benches"]["fig_x"]["metrics"]:
+            if m["name"] == metric_name:
+                m["value"] = value
+        return cur
+
+    def test_identical_suites_pass(self):
+        suite = make_suite()
+        code, out = self.run_diff(suite, copy.deepcopy(suite))
+        self.assertEqual(code, 0)
+        self.assertIn("RESULT: PASS", out)
+        self.assertIn("0 regression(s)", out)
+
+    def test_counter_mismatch_fails(self):
+        suite = make_suite()
+        cur = self.mutate(suite, "what_if_calls", 43)
+        code, out = self.run_diff(suite, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("counter 42 -> 43", out)
+
+    def test_counter_decrease_also_fails(self):
+        # Counters gate both directions: silent drift = behavior change.
+        suite = make_suite()
+        cur = self.mutate(suite, "what_if_calls", 41)
+        code, _ = self.run_diff(suite, cur)
+        self.assertEqual(code, 1)
+
+    def test_value_exact_by_default(self):
+        suite = make_suite()
+        cur = self.mutate(suite, "improvement_pct", 31.250000001)
+        code, _ = self.run_diff(suite, cur)
+        self.assertEqual(code, 1)
+
+    def test_value_tolerance_allows_libm_drift(self):
+        suite = make_suite()
+        cur = self.mutate(suite, "improvement_pct", 31.250000001)
+        code, _ = self.run_diff(suite, cur, ["--value-tolerance", "1e-6"])
+        self.assertEqual(code, 0)
+
+    def test_value_beyond_tolerance_fails(self):
+        suite = make_suite()
+        cur = self.mutate(suite, "improvement_pct", 31.9)
+        code, _ = self.run_diff(suite, cur, ["--value-tolerance", "1e-6"])
+        self.assertEqual(code, 1)
+
+    def test_value_nonfinite_drift_fails(self):
+        suite = make_suite()
+        cur = self.mutate(suite, "improvement_pct", None)
+        code, out = self.run_diff(suite, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("non-finite", out)
+
+    def test_time_slowdown_beyond_tolerance_gates(self):
+        suite = make_suite()
+        cur = self.mutate(suite, "tune_ms", 300.0)  # +100% > +50%
+        code, out = self.run_diff(suite, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("time 150.0ms -> 300.0ms", out)
+
+    def test_time_slowdown_within_tolerance_passes(self):
+        suite = make_suite()
+        cur = self.mutate(suite, "tune_ms", 200.0)  # +33% < +50%
+        code, _ = self.run_diff(suite, cur)
+        self.assertEqual(code, 0)
+
+    def test_time_speedup_never_flags(self):
+        suite = make_suite()
+        cur = self.mutate(suite, "tune_ms", 10.0)
+        code, _ = self.run_diff(suite, cur)
+        self.assertEqual(code, 0)
+
+    def test_time_below_floor_is_noise(self):
+        suite = make_suite()
+        base = self.mutate(suite, "tune_ms", 5.0)
+        cur = self.mutate(suite, "tune_ms", 50.0)  # 10x, but both < 100ms
+        code, _ = self.run_diff(base, cur)
+        self.assertEqual(code, 0)
+
+    def test_times_report_demotes_to_warning(self):
+        suite = make_suite()
+        cur = self.mutate(suite, "tune_ms", 300.0)
+        code, out = self.run_diff(suite, cur, ["--times", "report"])
+        self.assertEqual(code, 0)
+        self.assertIn("TIME WARN", out)
+
+    def test_times_ignore_skips(self):
+        suite = make_suite()
+        cur = self.mutate(suite, "tune_ms", 30000.0)
+        code, out = self.run_diff(suite, cur, ["--times", "ignore"])
+        self.assertEqual(code, 0)
+        self.assertNotIn("TIME WARN", out)
+
+    def test_missing_metric_fails(self):
+        suite = make_suite()
+        cur = copy.deepcopy(suite)
+        cur["benches"]["fig_x"]["metrics"] = [
+            m for m in cur["benches"]["fig_x"]["metrics"]
+            if m["name"] != "what_if_calls"]
+        code, out = self.run_diff(suite, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("missing from current run", out)
+
+    def test_new_metric_is_note_not_regression(self):
+        suite = make_suite()
+        cur = copy.deepcopy(suite)
+        cur["benches"]["fig_x"]["metrics"].append(
+            {"name": "brand_new", "kind": "counter", "value": 9})
+        code, out = self.run_diff(suite, cur)
+        self.assertEqual(code, 0)
+        self.assertIn("NOTE", out)
+        self.assertIn("new metric", out)
+
+    def test_missing_bench_fails(self):
+        base_doc = make_bench("fig_y")
+        base_doc["figure"] = "Figure Y"
+        benches = {"fig_x": make_suite()["benches"]["fig_x"],
+                   "fig_y": base_doc}
+        base = make_suite(benches=benches)
+        cur = make_suite()
+        code, out = self.run_diff(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("bench missing", out)
+
+    def test_meta_mismatch_is_incomparable(self):
+        base = make_suite()
+        cur = copy.deepcopy(base)
+        cur["benches"]["fig_x"]["meta"]["rows"] = 2000
+        with self.assertRaises(SystemExit):
+            self.run_diff(base, cur)
+
+    def test_quick_mismatch_is_incomparable(self):
+        base = make_suite(quick=True)
+        cur = make_suite(quick=False)
+        with self.assertRaises(SystemExit):
+            self.run_diff(base, cur)
+
+    def test_kind_change_is_incomparable(self):
+        base = make_suite()
+        cur = copy.deepcopy(base)
+        for m in cur["benches"]["fig_x"]["metrics"]:
+            if m["name"] == "what_if_calls":
+                m["kind"] = "value"
+                m["value"] = 42.0
+        with self.assertRaises(SystemExit):
+            self.run_diff(base, cur)
+
+    def test_schema_invalid_input_exits_2(self):
+        with tempfile.TemporaryDirectory() as d:
+            bad = os.path.join(d, "bad.json")
+            good = os.path.join(d, "good.json")
+            with open(bad, "w") as f:
+                f.write("{}")
+            with open(good, "w") as f:
+                json.dump(make_suite(), f)
+            with contextlib.redirect_stderr(io.StringIO()):
+                with self.assertRaises(SystemExit) as ctx:
+                    bench_diff.main(["bench_diff", bad, good])
+            self.assertEqual(ctx.exception.code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
