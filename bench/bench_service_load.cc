@@ -1,0 +1,265 @@
+// Load/robustness harness for the TuningService: a saturation phase that
+// pins admission control and watermark degradation with exact counters, a
+// fault-injected mixed-strategy load phase (Zipf-skewed arrival gaps,
+// hundreds of requests at full scale) whose status breakdown is
+// deterministic because the injector keys faults by request id, and a
+// wall-clock deadline phase. Every submitted request must resolve with a
+// definite status — the bench aborts otherwise.
+//
+// Counter metrics are exact at pinned (rows, seed): admission decisions
+// come from a gate-blocked worker (queue depths are deterministic) and
+// load-phase statuses from the seeded fault schedule. Latencies and wall
+// times are time_ms (noisy by nature); real-deadline outcomes are printed
+// but not gated (they race wall clocks by design).
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "common/zipf.h"
+#include "service/tuning_service.h"
+
+namespace capd {
+namespace bench {
+namespace {
+
+// Blocks the single worker inside a request's first progress callback so
+// the queue behind it fills deterministically.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool released = false;
+
+  void Enter() {
+    std::unique_lock<std::mutex> lock(mu);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [this] { return released; });
+  }
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return entered; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+};
+
+ServiceRequest MakeRequest(const Stack& s, const std::string& strategy) {
+  ServiceRequest request;
+  request.tuning.workload = s.workload;
+  request.tuning.strategy = strategy;
+  request.tuning.budget = TuningBudget::Fraction(0.15);
+  return request;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t i = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(i, sorted.size() - 1)];
+}
+
+// Phase A: saturation against a gate-blocked single worker. Queue depths
+// are fully deterministic, so accept/reject/degrade counts gate exactly.
+void RunSaturation(BenchContext& ctx, Stack& s) {
+  PrintHeader("Phase A: admission control under saturation (exact)");
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue = 8;
+  options.high_watermark = 4;
+  options.low_watermark = 0;
+  TuningService service(s.engine.get(), options);
+
+  Gate gate;
+  ServiceRequest blocker = MakeRequest(s, "dtac-topk");
+  blocker.tuning.progress = [&gate](const std::string& phase) {
+    if (phase == "candidates") gate.Enter();
+  };
+  auto busy = service.Submit(blocker);
+  gate.AwaitEntered();
+
+  // Fill the queue to max_queue, then four more: rejected at admission.
+  std::vector<std::shared_ptr<TuningService::Ticket>> tickets;
+  for (int i = 0; i < options.max_queue + 4; ++i) {
+    tickets.push_back(service.Submit(MakeRequest(s, "dtac-topk")));
+  }
+  gate.Release();
+  busy->Wait();
+  size_t degraded = 0, rejected = 0, ok = 0;
+  for (auto& ticket : tickets) {
+    const ServiceResponse& r = ticket->Wait();
+    if (r.status == ServiceStatus::kOverloaded) {
+      ++rejected;
+    } else {
+      CAPD_CHECK(r.status == ServiceStatus::kOk) << ServiceStatusName(r.status);
+      ++ok;
+      if (r.degraded) {
+        ++degraded;
+        CAPD_CHECK(r.executed_strategy == options.degraded_strategy);
+      }
+    }
+  }
+  std::printf("submitted=%zu accepted=%zu rejected=%zu degraded=%zu\n",
+              tickets.size() + 1, ok + 1, rejected, degraded);
+  // Dequeue depths behind the blocker are 7..0 with low_watermark 0: every
+  // drain but the last runs degraded.
+  ctx.report.AddCounter("a_accepted", ok);
+  ctx.report.AddCounter("a_rejected", rejected);
+  ctx.report.AddCounter("a_degraded", degraded);
+  const ServiceStats stats = service.stats();
+  CAPD_CHECK(stats.completed == stats.accepted);
+}
+
+// Phase B: mixed-strategy load with seeded fault injection. One dispatcher
+// submits with Zipf-skewed gaps so request ids — and with them the fault
+// schedule and the status breakdown — are deterministic while the worker
+// pool drains concurrently.
+void RunFaultLoad(BenchContext& ctx, Stack& s) {
+  PrintHeader("Phase B: fault-injected mixed load (exact breakdown)");
+  const int clients =
+      static_cast<int>(std::max<uint64_t>(40, ctx.flags.rows / 10));
+  ServiceOptions options;
+  options.num_workers = std::max(1, ctx.flags.threads);
+  options.max_queue = clients + 1;  // admission never interferes here
+  options.high_watermark = 0;       // depth decisions are not seeded
+  options.max_attempts = 3;
+  options.backoff_base_ms = 0.5;
+  options.backoff_cap_ms = 4.0;
+  options.faults.seed = ctx.flags.seed;
+  options.faults.transient_rate = 0.12;
+  options.faults.forced_timeout_rate = 0.08;
+  options.faults.spurious_cancel_rate = 0.08;
+  TuningService service(s.engine.get(), options);
+
+  const char* const strategies[] = {"dtac-topk", "dtac-skyline",
+                                    "staged:page"};
+  Random rng(ctx.flags.seed);
+  ZipfGenerator arrivals(/*n=*/64, /*theta=*/1.1);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<TuningService::Ticket>> tickets;
+  tickets.reserve(clients);
+  for (int i = 0; i < clients; ++i) {
+    tickets.push_back(service.Submit(MakeRequest(s, strategies[i % 3])));
+    // Zipf-skewed inter-arrival gap: mostly bursts (rank 0 = no wait),
+    // occasionally a long pause — the skewed open-loop client mix.
+    const uint64_t gap_us = arrivals.Next(&rng) * 50;
+    if (gap_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(gap_us));
+    }
+  }
+
+  size_t ok = 0, deadline = 0, error = 0, cancelled = 0;
+  std::vector<double> latencies;
+  latencies.reserve(clients);
+  for (auto& ticket : tickets) {
+    const ServiceResponse& r = ticket->Wait();
+    latencies.push_back(r.queue_ms + r.run_ms);
+    switch (r.status) {
+      case ServiceStatus::kOk:
+        ++ok;
+        break;
+      case ServiceStatus::kDeadlineExceeded:
+        ++deadline;
+        break;
+      case ServiceStatus::kError:
+        ++error;
+        break;
+      case ServiceStatus::kCancelled:
+        ++cancelled;
+        break;
+      case ServiceStatus::kOverloaded:
+        CAPD_CHECK(false) << "admission must not fire in phase B";
+    }
+  }
+  const double wall_ms = Millis(t0, std::chrono::steady_clock::now());
+  const ServiceStats stats = service.stats();
+  CAPD_CHECK(stats.completed == stats.accepted)
+      << "every accepted request must resolve";
+  CAPD_CHECK(ok + deadline + error + cancelled == static_cast<size_t>(clients));
+
+  std::sort(latencies.begin(), latencies.end());
+  std::printf(
+      "clients=%d workers=%d: ok=%zu deadline=%zu error=%zu cancelled=%zu\n",
+      clients, options.num_workers, ok, deadline, error, cancelled);
+  std::printf("faults=%llu retries=%llu wall=%.0fms throughput=%.1f req/s\n",
+              static_cast<unsigned long long>(stats.faults_injected),
+              static_cast<unsigned long long>(stats.retries), wall_ms,
+              1000.0 * clients / std::max(wall_ms, 1e-9));
+  std::printf("latency p50=%.1fms p99=%.1fms p999=%.1fms\n",
+              Percentile(latencies, 0.50), Percentile(latencies, 0.99),
+              Percentile(latencies, 0.999));
+
+  ctx.report.AddCounter("b_clients", clients);
+  ctx.report.AddCounter("b_ok", ok);
+  ctx.report.AddCounter("b_deadline_exceeded", deadline);
+  ctx.report.AddCounter("b_error", error);
+  ctx.report.AddCounter("b_cancelled", cancelled);
+  ctx.report.AddCounter("b_faults_injected", stats.faults_injected);
+  ctx.report.AddCounter("b_retries", stats.retries);
+  ctx.report.AddTimeMs("b_wall_ms", wall_ms);
+  ctx.report.AddTimeMs("b_latency_p50_ms", Percentile(latencies, 0.50));
+  ctx.report.AddTimeMs("b_latency_p99_ms", Percentile(latencies, 0.99));
+  ctx.report.AddTimeMs("b_latency_p999_ms", Percentile(latencies, 0.999));
+}
+
+// Phase C: real wall-clock deadlines. Outcomes race the clock, so only
+// "everything resolved" gates; the breakdown is informational.
+void RunDeadlines(BenchContext& ctx, Stack& s) {
+  PrintHeader("Phase C: wall-clock deadlines (informational breakdown)");
+  ServiceOptions options;
+  options.num_workers = std::max(1, ctx.flags.threads);
+  options.high_watermark = 0;
+  TuningService service(s.engine.get(), options);
+
+  constexpr int kRequests = 8;
+  std::vector<std::shared_ptr<TuningService::Ticket>> tickets;
+  for (int i = 0; i < kRequests; ++i) {
+    ServiceRequest request = MakeRequest(s, "dtac-skyline");
+    request.timeout_ms = 4.0 * (1 + i % 4);  // 4..16ms: all far too tight
+    tickets.push_back(service.Submit(request));
+  }
+  size_t resolved = 0, expired = 0, finished = 0;
+  for (auto& ticket : tickets) {
+    const ServiceResponse& r = ticket->Wait();
+    ++resolved;
+    if (r.status == ServiceStatus::kDeadlineExceeded) {
+      // Cooperative wind-down: the engine response is a flagged partial.
+      CAPD_CHECK(r.attempts == 0 ||
+                 r.tuning.status == TuningResponse::Status::kCancelled);
+      ++expired;
+    } else {
+      CAPD_CHECK(r.status == ServiceStatus::kOk) << ServiceStatusName(r.status);
+      ++finished;
+    }
+  }
+  std::printf("requests=%d expired=%zu finished=%zu (race by design)\n",
+              kRequests, expired, finished);
+  ctx.report.AddCounter("c_resolved", resolved);
+}
+
+void Run(BenchContext& ctx) {
+  Stack s = MakeTpchStack(ctx.flags.rows, 0.0, ctx.flags.seed);
+  RunSaturation(ctx, s);
+  RunFaultLoad(ctx, s);
+  RunDeadlines(ctx, s);
+  ctx.report.AddCounter("all_resolved", 1);
+  std::printf("\nall requests resolved with definite statuses\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace capd
+
+int main(int argc, char** argv) {
+  return capd::bench::BenchMain(argc, argv, "service_load",
+                                /*default_rows=*/2000,
+                                /*default_seed=*/20110829, capd::bench::Run);
+}

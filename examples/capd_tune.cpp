@@ -5,18 +5,26 @@
 //   capd_tune [--workload tpch|sales|tpcds-lite] [--rows N] [--seed N]
 //             [--strategy NAME] [--budget 15% | --budget BYTES]
 //             [--budget-frac F] [--threads N] [--insert-weight W]
+//             [--timeout-ms MS] [--priority P]
 //             [--mv] [--partial] [--json] [--trace] [--list]
 //
 // --json prints the versioned JSON report (report_json.h) and nothing
 // else, so the output pipes straight into `python3 -m json.tool`, jq, etc.
 // Bad flags, unknown workloads and unknown strategies exit 2 with a usage
 // message.
+//
+// --timeout-ms / --priority route the request through the TuningService
+// (deadline enforcement, priority scheduling): a deadline that fires
+// mid-tune still prints the best-so-far design, but the process exits 3 —
+// as it does on kOverloaded — so scripts can tell a degraded answer from a
+// complete one.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "engine/advisor_engine.h"
+#include "service/tuning_service.h"
 #include "workloads/registry.h"
 
 using namespace capd;
@@ -29,6 +37,7 @@ void Usage() {
       "usage: capd_tune [--workload tpch|sales|tpcds-lite] [--rows N]\n"
       "                 [--seed N] [--strategy NAME] [--budget 15%% | BYTES]\n"
       "                 [--budget-frac F] [--threads N] [--insert-weight W]\n"
+      "                 [--timeout-ms MS] [--priority P]\n"
       "                 [--mv] [--partial] [--json] [--trace] [--list]\n"
       "\n"
       "  --budget accepts a percentage of the base data size (\"15%%\") or\n"
@@ -36,6 +45,9 @@ void Usage() {
       "  fraction as a float. --threads drives both the search and the\n"
       "  estimation pools (0 = hardware concurrency). --mv/--partial add\n"
       "  MV and partial-index candidates on top of the chosen strategy.\n"
+      "  --timeout-ms/--priority run through the TuningService: a deadline\n"
+      "  that fires mid-tune prints the best-so-far design and exits 3\n"
+      "  (as does an overloaded rejection).\n"
       "  --list prints the registered strategies and workloads and exits.\n");
 }
 
@@ -56,6 +68,18 @@ uint64_t ParseUint64Flag(const char* flag, const char* text,
 double ParseDoubleFlag(const char* flag, const char* text) {
   char* end = nullptr;
   const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "bad %s value '%s'\n", flag, text);
+    Usage();
+    std::exit(2);
+  }
+  return value;
+}
+
+// Strict signed integer (priorities may be negative); same exit-2 contract.
+int64_t ParseInt64Flag(const char* flag, const char* text) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
   if (end == text || *end != '\0') {
     std::fprintf(stderr, "bad %s value '%s'\n", flag, text);
     Usage();
@@ -101,6 +125,9 @@ int main(int argc, char** argv) {
   std::string strategy = "dtac-both";
   double insert_weight = 1.0;
   int threads = 1;
+  double timeout_ms = 0.0;
+  int priority = 0;
+  bool use_service = false;
   bool enable_mv = false;
   bool enable_partial = false;
   bool json = false;
@@ -136,6 +163,17 @@ int main(int argc, char** argv) {
       threads = static_cast<int>(ParseUint64Flag("--threads", next()));
     } else if (arg == "--insert-weight") {
       insert_weight = ParseDoubleFlag("--insert-weight", next());
+    } else if (arg == "--timeout-ms") {
+      timeout_ms = ParseDoubleFlag("--timeout-ms", next());
+      if (timeout_ms <= 0.0) {
+        std::fprintf(stderr, "bad --timeout-ms value: must be > 0\n");
+        Usage();
+        return 2;
+      }
+      use_service = true;
+    } else if (arg == "--priority") {
+      priority = static_cast<int>(ParseInt64Flag("--priority", next()));
+      use_service = true;
     } else if (arg == "--mv") {
       enable_mv = true;
     } else if (arg == "--partial") {
@@ -192,8 +230,34 @@ int main(int argc, char** argv) {
     };
   }
 
-  const TuningResponse response = engine.Tune(request);
-  if (response.status == TuningResponse::Status::kError) {
+  TuningResponse response;
+  int exit_code = 0;
+  if (use_service) {
+    // The service path: deadline enforcement and priority scheduling on
+    // top of the same engine. One-shot, so admission never rejects here —
+    // but the status mapping (exit 3) matches a shared long-lived service.
+    TuningService service(&engine, ServiceOptions{});
+    ServiceRequest service_request;
+    service_request.tuning = request;
+    service_request.priority = priority;
+    service_request.timeout_ms = timeout_ms;
+    const ServiceResponse service_response = service.Tune(service_request);
+    if (service_response.status == ServiceStatus::kOverloaded) {
+      std::fprintf(stderr, "rejected: %s\n", service_response.error.c_str());
+      return 3;
+    }
+    if (service_response.status == ServiceStatus::kDeadlineExceeded) {
+      std::fprintf(stderr,
+                   "deadline of %.0f ms exceeded — printing the best-so-far "
+                   "design, exiting 3\n",
+                   timeout_ms);
+      exit_code = 3;
+    }
+    response = service_response.tuning;
+  } else {
+    response = engine.Tune(request);
+  }
+  if (exit_code == 0 && response.status == TuningResponse::Status::kError) {
     std::fprintf(stderr, "%s\n", response.error.c_str());
     Usage();
     return 2;
@@ -201,7 +265,7 @@ int main(int argc, char** argv) {
 
   if (json) {
     std::fputs(response.json.c_str(), stdout);
-    return 0;
+    return exit_code;
   }
 
   const double base_kb =
@@ -221,5 +285,5 @@ int main(int argc, char** argv) {
               result.improvement_percent());
   std::printf("charged bytes: %.0f KB\n\n%s", result.charged_bytes / 1024.0,
               response.report.c_str());
-  return 0;
+  return exit_code;
 }

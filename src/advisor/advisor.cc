@@ -36,6 +36,9 @@ bool Advisor::CancelRequested() const {
 }
 
 void Advisor::ReportProgress(const char* phase) const {
+  // Fault hooks run first so an injected fault (thrown TransientTuningError
+  // or a flipped cancel flag) lands before observers hear about the phase.
+  if (options_.fault_hook) options_.fault_hook(phase);
   if (options_.progress) options_.progress(phase);
 }
 
@@ -64,6 +67,10 @@ double Advisor::PooledWorkloadCost(const Workload& workload,
   }
   const std::vector<double> costs = ParallelMap<double>(
       Pool(), workload.statements.size(), [&](size_t i) {
+        // Remaining costings are skipped once a cancel fires; the partial
+        // sum is meaningless, so callers must re-check CancelRequested()
+        // before consuming the total.
+        if (CancelRequested()) return 0.0;
         return optimizer_->Cost(workload.statements[i], config);
       });
   // Same weighted terms summed in the same statement order as
@@ -109,7 +116,13 @@ std::map<std::string, PhysicalIndexEstimate> Advisor::EstimateSizes(
   const SizeEstimator::BatchResult batch = sizes_->EstimateAll(compressed);
   for (const IndexDef& def : compressed) {
     const auto it = batch.estimates.find(def.Signature());
-    CAPD_CHECK(it != batch.estimates.end()) << def.ToString();
+    if (it == batch.estimates.end()) {
+      // A batch may only come back short when a cooperative cancel stopped
+      // it mid-estimation; every caller discards the partial map once the
+      // flag is up, so skipping the hole is safe. Anything else is a bug.
+      CAPD_CHECK(CancelRequested()) << def.ToString();
+      continue;
+    }
     PhysicalIndexEstimate est;
     est.def = def;
     est.bytes = it->second.est_bytes;
@@ -156,6 +169,11 @@ std::vector<IndexDef> Advisor::SelectCandidates(
   };
   const std::vector<double> costs =
       ParallelMap<double>(Pool(), selects.size() * stride, [&](size_t j) {
+        // Skipped costings yield 0.0, which makes every candidate look
+        // irrelevant (cost >= base_cost) — harmless, because Tune discards
+        // the selection as soon as it sees the cancel flag. The cost cache
+        // is never fed skipped values.
+        if (CancelRequested()) return 0.0;
         const size_t si = selects[j / stride];
         const size_t c = j % stride;
         if (c == 0) return stmt_cost(si, Configuration());
@@ -273,6 +291,12 @@ Configuration Advisor::Enumerate(
     }
     const std::vector<double> trial_costs =
         ParallelMap<double>(workers, addable.size(), [&](size_t k) {
+          // Infinity reads as "no benefit", so skipped trials can never be
+          // picked; the next loop iteration then observes the flag and
+          // breaks with the coherent best-so-far configuration.
+          if (CancelRequested()) {
+            return std::numeric_limits<double>::infinity();
+          }
           Configuration trial = config;
           trial.Add(size_of(pool[addable[k]]));
           return trial_cost(trial);
@@ -359,6 +383,11 @@ Configuration Advisor::Enumerate(
           }
           const std::vector<double> swap_costs =
               ParallelMap<double>(workers, fit_swaps.size(), [&](size_t k) {
+                // Infinite swap costs can never beat best_fit/current, so a
+                // cancel mid-backtrack leaves the configuration untouched.
+                if (CancelRequested()) {
+                  return std::numeric_limits<double>::infinity();
+                }
                 return trial_cost(fit_swaps[k]);
               });
           charge_calls(fit_swaps.size());
@@ -465,8 +494,12 @@ AdvisorResult Advisor::Tune(const Workload& workload, double budget_bytes) {
       const std::map<std::string, PhysicalIndexEstimate> merged_sizes =
           EstimateSizes(merged, &result);
       result.estimation_ms += millis_since(t0);
-      for (const IndexDef& def : merged) selected.push_back(def);
-      for (const auto& [sig, est] : merged_sizes) sizes[sig] = est;
+      // A cancel inside the merged batch leaves merged_sizes short; merged
+      // candidates are only admitted when every one of them was sized.
+      if (!CancelRequested()) {
+        for (const IndexDef& def : merged) selected.push_back(def);
+        for (const auto& [sig, est] : merged_sizes) sizes[sig] = est;
+      }
     }
   }
   result.num_candidates = selected.size();
@@ -534,16 +567,29 @@ AdvisorResult Advisor::TuneStagedBaseline(const Workload& workload,
       EstimateSizes(compressed, &result);
   result.estimation_ms +=
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  // A cancel anywhere in stage 2 (mid-estimation or mid-re-cost) keeps the
+  // coherent stage-1 design: `sizes` may be short and a pooled sum that
+  // skipped statements is meaningless, so result.config/final_cost are only
+  // overwritten once stage 2 finished clean.
+  if (CancelRequested()) {
+    result.cancelled = true;
+    return result;  // stage-1 design, uncompressed
+  }
   Configuration config;
   for (const IndexDef& def : compressed) {
     config.Add(sizes.at(def.Signature()));
   }
   t0 = Clock::now();
-  result.config = config;
-  result.final_cost = PooledWorkloadCost(workload, config, &result);
-  result.charged_bytes = ChargedBytes(config);
+  const double final_cost = PooledWorkloadCost(workload, config, &result);
   result.enumeration_ms +=
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  if (CancelRequested()) {
+    result.cancelled = true;
+    return result;  // stage-1 design, uncompressed
+  }
+  result.config = std::move(config);
+  result.final_cost = final_cost;
+  result.charged_bytes = ChargedBytes(result.config);
   ReportProgress("staged-recompress");
   return result;
 }

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,19 @@
 #include "estimator/size_estimator.h"
 
 namespace capd {
+
+// A recoverable mid-tune failure: the run died but nothing about the
+// database, the workload, or the engine state is wrong, so retrying the
+// same request may succeed. Thrown by fault hooks (fault injection, or a
+// real transient resource: an evicted sample, a briefly unavailable
+// statistics source); the AdvisorEngine reports it as an error with
+// TuningResponse::retryable set, which the TuningService turns into a
+// backoff-and-retry instead of a terminal failure.
+class TransientTuningError : public std::runtime_error {
+ public:
+  explicit TransientTuningError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 enum class CandidateSelectionMode {
   kTopK,     // best-per-query (classic DTA)
@@ -65,6 +79,12 @@ struct AdvisorOptions {
   // each phase ("candidates", "estimation", "selection", "merging",
   // "enumeration"; the staged baseline reports its stage-1 phases too).
   std::function<void(const std::string& phase)> progress;
+  // Fault hook, invoked at the same phase boundaries just before
+  // `progress`. Deterministic fault injection hangs here: the hook may
+  // throw TransientTuningError (retryable failure), fire a cancellation
+  // flag (forced timeout / spurious cancel), or do nothing. Unset in
+  // production paths; see src/service/fault_injector.h.
+  std::function<void(const std::string& phase)> fault_hook;
 
   bool enable_clustered = true;
   bool enable_partial = false;  // partial-index candidates

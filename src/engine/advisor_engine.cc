@@ -83,7 +83,12 @@ TuningResponse AdvisorEngine::Tune(const TuningRequest& request) {
   }
   options.trace = options.trace || request.trace;
   options.cancel = request.cancel.flag();
+  // Deep cancellation: the estimation batches poll the same flag inside
+  // their fraction probes and SampleCF leaves, so a deadline binds within
+  // a long estimation phase, not just at its boundary.
+  options.size_options.cancel = options.cancel;
   options.progress = request.progress;
+  options.fault_hook = request.fault_hook;
   LendPools(&options);
 
   RequestScope scope = ScopeFor(options);
@@ -92,6 +97,11 @@ TuningResponse AdvisorEngine::Tune(const TuningRequest& request) {
                             options.size_options);
     Advisor advisor(*db_, *scope.optimizer, &estimator, scope.mvs, options);
     response.result = strategy->Run(&advisor, request.workload, budget_bytes);
+  } catch (const TransientTuningError& e) {
+    response.status = TuningResponse::Status::kError;
+    response.error = std::string("tuning failed (transient): ") + e.what();
+    response.retryable = true;
+    return response;
   } catch (const std::exception& e) {
     response.status = TuningResponse::Status::kError;
     response.error = std::string("tuning failed: ") + e.what();

@@ -133,8 +133,15 @@ struct TuningRequest {
   // Invoked serially from the tuning thread after each advisor phase
   // ("candidates", "estimation", "selection", "merging", "enumeration").
   std::function<void(const std::string& phase)> progress;
+  // Fault hook (AdvisorOptions::fault_hook): runs at the same phase
+  // boundaries just before `progress` and may throw TransientTuningError
+  // (reported as a retryable kError) or fire a cancellation flag. Used by
+  // the TuningService's deterministic FaultInjector; unset otherwise.
+  std::function<void(const std::string& phase)> fault_hook;
   // Cancel handle; keep a copy and call RequestCancel() to stop the run at
-  // the next phase boundary or enumeration step.
+  // the next phase boundary or enumeration step. Also polled inside the
+  // batch-estimation fraction probes / SampleCF leaves and the pooled
+  // costing loops, so a cancel binds within long phases too.
   CancellationToken cancel;
 };
 
@@ -145,6 +152,12 @@ struct TuningResponse {
   std::string error;     // set when status == kError
   std::string strategy;  // echoed from the request
   double budget_bytes = 0.0;
+  // With status == kError: true when the failure was a TransientTuningError
+  // (nothing about the engine or database is wrong — retrying the same
+  // request may succeed). The TuningService retries these with backoff;
+  // terminal errors (unknown strategy, invalid budget, logic errors) never
+  // set it.
+  bool retryable = false;
 
   // Valid when status != kError. On kCancelled this is the best partial
   // design (result.cancelled is also set).

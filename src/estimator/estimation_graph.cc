@@ -152,11 +152,14 @@ void EstimationGraph::GenerateDeductionsFor(size_t node_id) {
 void EstimationGraph::RefreshCosts(double f, ThreadPool* pool) {
   // Each probe scans the object's sample once (filter hit counting); the
   // probes are independent and the shared sample caches are thread-safe,
-  // so they batch across the pool. Writes go to disjoint nodes.
+  // so they batch across the pool. Writes go to disjoint nodes. Once a
+  // cancel fires, remaining probes are skipped (cost 0) — the plan built
+  // from them is discarded by the cancelled caller anyway.
   ParallelFor(pool, nodes_.size(), [&](size_t i) {
     IndexNode& node = nodes_[i];
-    node.cost_pages =
-        node.is_existing ? 0.0 : sampler_.PredictCostPages(node.def, f);
+    node.cost_pages = node.is_existing || Cancelled()
+                          ? 0.0
+                          : sampler_.PredictCostPages(node.def, f);
   });
 }
 
@@ -517,6 +520,10 @@ std::map<std::string, SampleCfResult> EstimationGraph::Execute(
   std::vector<std::vector<SampleCfResult>> group_results =
       ParallelMap<std::vector<SampleCfResult>>(
           pool, groups.size(), [&](size_t g) -> std::vector<SampleCfResult> {
+            // Deadlines must bind inside the batch: once a cancel fires,
+            // remaining index builds are skipped. An empty vector (a group
+            // always has >= 1 member) marks the group as not computed.
+            if (Cancelled()) return {};
             const std::vector<size_t>& members = groups[g];
             const IndexNode& first = nodes_[members.front()];
             if (first.is_existing) {
@@ -535,6 +542,7 @@ std::map<std::string, SampleCfResult> EstimationGraph::Execute(
             return sampler_.EstimateGroup(defs, f);
           });
   for (size_t g = 0; g < groups.size(); ++g) {
+    if (group_results[g].size() != groups[g].size()) continue;  // cancelled
     for (size_t m = 0; m < groups[g].size(); ++m) {
       const IndexNode& node = nodes_[groups[g][m]];
       const std::string sig = node.def.Signature();
@@ -544,6 +552,10 @@ std::map<std::string, SampleCfResult> EstimationGraph::Execute(
       }
     }
   }
+  // A cancelled batch returns the completed leaves only; deduction would
+  // compose from missing children, so the caller gets the partial map and
+  // is expected to discard it (EstimateAll reports the cancellation).
+  if (Cancelled()) return results;
 
   // Phase 2: DEDUCED nodes compose their children's results via the
   // deduction formulas — cheap arithmetic, run serially in dependency

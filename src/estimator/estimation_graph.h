@@ -6,6 +6,7 @@
 #ifndef CAPD_ESTIMATOR_ESTIMATION_GRAPH_H_
 #define CAPD_ESTIMATOR_ESTIMATION_GRAPH_H_
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <string>
@@ -105,7 +106,19 @@ class EstimationGraph {
 
   void ResetStates();
 
+  // Cooperative cancellation for the expensive batch loops (the cost
+  // probes of Greedy/Optimal/SampleAllTargets and the SampleCF leaves of
+  // Execute): when the flag fires, remaining probes/leaves are skipped and
+  // Execute returns only the estimates completed so far. The caller
+  // (SizeEstimator::EstimateAll) is responsible for discarding the
+  // now-meaningless plan. Null (the default) disables polling; a flag that
+  // never fires leaves every result bit-identical.
+  void set_cancel(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
  private:
+  bool Cancelled() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
   size_t AddNode(const IndexDef& def, bool is_target);
   std::optional<size_t> FindNode(const std::string& signature) const;
   void GenerateDeductionsFor(size_t node_id);
@@ -128,6 +141,7 @@ class EstimationGraph {
   SampleSource* source_;
   ErrorModel model_;  // by value: callers often pass temporaries
   SampleCfEstimator sampler_;
+  const std::atomic<bool>* cancel_ = nullptr;  // not owned; may be null
 
   std::vector<IndexNode> nodes_;
   std::vector<DeductionNode> deductions_;

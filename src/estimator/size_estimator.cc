@@ -48,6 +48,11 @@ SizeEstimator::BatchResult SizeEstimator::EstimateAll(
 
   EstimationGraph graph(*db_, source_, model_);
   graph.AddTargets(fresh);
+  graph.set_cancel(options_.cancel.get());
+  auto cancelled = [this] {
+    return options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_relaxed);
+  };
 
   // Runs the assigned plan at f, merges the fresh estimates into the
   // result (cached entries are already there), and fills the cache.
@@ -70,12 +75,14 @@ SizeEstimator::BatchResult SizeEstimator::EstimateAll(
     // does — matching the paper's "even All misses it" tolerance).
     double best_f = options_.fractions.back();
     for (double f : options_.fractions) {
+      if (cancelled()) return result;  // deadline binds between probes
       graph.SampleAllTargets(f, Pool());
       if (graph.AssignmentSatisfies(options_.e, options_.q, f)) {
         best_f = f;
         break;
       }
     }
+    if (cancelled()) return result;
     result.total_cost_pages = graph.SampleAllTargets(best_f, Pool());
     execute_plan(best_f);
     result.num_deduced = 0;
@@ -91,6 +98,11 @@ SizeEstimator::BatchResult SizeEstimator::EstimateAll(
   double best_cost = std::numeric_limits<double>::infinity();
   double best_f = options_.fractions.back();
   for (double f : options_.fractions) {
+    // A cancelled batch returns early with whatever is in `result` so far
+    // (nothing yet): partial plans are worthless, and the advisor discards
+    // the batch anyway. The graph also polls inside its own probe and leaf
+    // loops, so a deadline binds mid-fraction, not just between fractions.
+    if (cancelled()) return result;
     const double cost = graph.Greedy(f, options_.e, options_.q, Pool());
     if (!graph.AssignmentSatisfies(options_.e, options_.q, f)) continue;
     if (cost < best_cost) {
@@ -98,6 +110,7 @@ SizeEstimator::BatchResult SizeEstimator::EstimateAll(
       best_f = f;
     }
   }
+  if (cancelled()) return result;
   // Re-run the winning plan (the graph holds the last run's states).
   result.total_cost_pages =
       graph.Greedy(best_f, options_.e, options_.q, Pool());
@@ -120,8 +133,15 @@ SampleCfResult SizeEstimator::UncompressedSize(const IndexDef& def) {
 
 std::vector<SampleCfResult> SizeEstimator::UncompressedSizeAll(
     const std::vector<IndexDef>& defs) {
-  return ParallelMap<SampleCfResult>(
-      Pool(), defs.size(), [&](size_t i) { return UncompressedSize(defs[i]); });
+  return ParallelMap<SampleCfResult>(Pool(), defs.size(), [&](size_t i) {
+    // Skipped entries come back zeroed; a cancelled advisor run discards
+    // the whole batch, so they are never read.
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      return SampleCfResult{};
+    }
+    return UncompressedSize(defs[i]);
+  });
 }
 
 }  // namespace capd

@@ -5,6 +5,7 @@
 #ifndef CAPD_ESTIMATOR_SIZE_ESTIMATOR_H_
 #define CAPD_ESTIMATOR_SIZE_ESTIMATOR_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,6 +57,15 @@ struct SizeEstimationOptions {
   // are evicted once the bound is exceeded, so hundred-thousand-candidate
   // workloads cannot grow the cache without limit.
   size_t cache_capacity_bytes = 0;
+  // Cooperative cancellation, polled inside the batch itself (per fraction
+  // probe and per SampleCF leaf) so a deadline binds within a long
+  // estimation phase, not just at its boundary. On cancel EstimateAll
+  // returns early with whatever estimates completed (possibly none); the
+  // advisor discards such partial batches. When the flag never fires,
+  // results are bit-identical to running without it — polling a relaxed
+  // atomic is the only added work. The AdvisorEngine wires this to the
+  // request's CancellationToken automatically.
+  std::shared_ptr<const std::atomic<bool>> cancel;
 };
 
 class SizeEstimator {

@@ -109,9 +109,27 @@ def validate_suite(doc, path="suite"):
             errors.append(_err(path, "%s must be a non-empty string" % key))
     if not isinstance(doc.get("quick"), bool):
         errors.append(_err(path, "quick must be a boolean"))
+    # Optional list of benches the runner skipped (e.g. wall-clock timeout):
+    # each entry names the bench and says why it is missing from `benches`.
+    skipped = doc.get("skipped", [])
+    if not isinstance(skipped, list):
+        errors.append(_err(path, "skipped must be an array"))
+        skipped = []
+    else:
+        for i, skip in enumerate(skipped):
+            skip_path = "%s.skipped[%d]" % (path, i)
+            if not isinstance(skip, dict):
+                errors.append(_err(skip_path, "skip entry must be an object"))
+                continue
+            for key in ("name", "reason"):
+                if not isinstance(skip.get(key), str) or not skip.get(key):
+                    errors.append(
+                        _err(skip_path,
+                             "%s must be a non-empty string" % key))
     benches = doc.get("benches")
-    if not isinstance(benches, dict) or not benches:
-        errors.append(_err(path, "benches must be a non-empty object"))
+    if not isinstance(benches, dict) or (not benches and not skipped):
+        errors.append(_err(path, "benches must be a non-empty object "
+                           "(unless every bench was skipped)"))
         return errors
     for name, bench in sorted(benches.items()):
         bench_path = "%s.benches[%s]" % (path, name)

@@ -129,6 +129,29 @@ class SchemaTest(unittest.TestCase):
         errors = bench_schema.validate_suite(suite)
         self.assertTrue(any("does not match" in e for e in errors))
 
+    def test_suite_skipped_list_validates(self):
+        suite = make_suite()
+        suite["skipped"] = [
+            {"name": "bench_slow", "reason": "timed out after 900s"}]
+        self.assertEqual(bench_schema.validate_suite(suite), [])
+
+    def test_suite_skipped_entries_need_name_and_reason(self):
+        suite = make_suite()
+        suite["skipped"] = [{"name": "bench_slow"}]
+        errors = bench_schema.validate_suite(suite)
+        self.assertTrue(any("reason" in e for e in errors))
+        suite["skipped"] = "bench_slow"
+        errors = bench_schema.validate_suite(suite)
+        self.assertTrue(any("skipped must be an array" in e for e in errors))
+
+    def test_suite_all_skipped_allows_empty_benches(self):
+        suite = make_suite(benches={})
+        errors = bench_schema.validate_suite(suite)
+        self.assertTrue(any("benches" in e for e in errors))
+        suite["skipped"] = [
+            {"name": "fig_x", "reason": "timed out after 900s"}]
+        self.assertEqual(bench_schema.validate_suite(suite), [])
+
     def test_validate_file_autodetects(self):
         with tempfile.TemporaryDirectory() as d:
             suite_path = os.path.join(d, "suite.json")
