@@ -6,6 +6,33 @@
 
 namespace capd {
 
+uint64_t RoundedFraction(uint64_t n, double f) {
+  if (f <= 0.0) return 0;
+  if (f >= 1.0) return n;
+  if (n <= (1ull << 52)) {
+    // Exact in double; identical to the historical n * f + 0.5 truncation,
+    // which every pinned sample (and therefore every golden report)
+    // depends on.
+    return static_cast<uint64_t>(static_cast<double>(n) * f + 0.5);
+  }
+  // Near 2^53 and above, double drops low bits of n and the + 0.5 can be
+  // absorbed entirely; x87 long double carries a 64-bit mantissa (and on
+  // quad-precision platforms more), which covers uint64 exactly.
+  const long double p =
+      static_cast<long double>(n) * static_cast<long double>(f) + 0.5L;
+  if (p >= static_cast<long double>(n)) return n;
+  return static_cast<uint64_t>(p);
+}
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
 
 double NormalProbBetween(double mean, double stddev, double lo, double hi) {

@@ -6,9 +6,24 @@
 #define CAPD_COMMON_MATH_UTIL_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace capd {
+
+// round(n * f) for a fraction f in [0, 1], overflow- and precision-safe for
+// the whole uint64 range. For n <= 2^52 this is bit-identical to the
+// classic static_cast<uint64_t>(n * f + 0.5); above that (where double
+// cannot even represent n exactly and n * f + 0.5 silently loses the
+// rounding bit) it switches to extended precision and clamps to n. f < 0
+// maps to 0 and f > 1 to n, so callers need no pre-clamping.
+uint64_t RoundedFraction(uint64_t n, double f);
+
+// FNV-1a: a fixed, platform-independent string hash used wherever a string
+// must map to a reproducible seed (per-key sample seeds, per-table stats
+// seeds). Never change this: sample contents are pinned by it.
+uint64_t Fnv1a64(const std::string& s);
 
 // Standard normal CDF.
 double NormalCdf(double z);

@@ -12,19 +12,36 @@ namespace capd {
 
 // Draws ranks in [0, n) with probability proportional to 1/(rank+1)^theta.
 // theta == 0 degenerates to the uniform distribution.
+//
+// Memory is O(min(n, kCdfCap)), never O(n): the CDF table is materialized
+// only for the first kCdfCap ranks; above the cap the mass comes from the
+// Euler-Maclaurin integral approximation of the harmonic tail and draws
+// landing there invert it analytically. For n <= kCdfCap (every seed-era
+// workload) construction and draws are bit-identical to the original
+// uncapped table, so the pinned goldens and bench_service_load's seeded
+// counters are unchanged. Each Next() consumes exactly one uniform double
+// from the engine in either regime.
 class ZipfGenerator {
  public:
+  // Ranks materialized exactly. 2^20 doubles = 8 MiB per generator, the
+  // fixed ceiling a 100M-key generator costs too.
+  static constexpr uint64_t kCdfCap = 1ull << 20;
+
   ZipfGenerator(uint64_t n, double theta);
 
   uint64_t Next(Random* rng) const;
 
   uint64_t n() const { return n_; }
   double theta() const { return theta_; }
+  // P(rank < min(n, kCdfCap)): 1 for uncapped generators, < 1 when an
+  // analytic tail exists. Exposed for the tail-sanity tests.
+  double head_mass() const { return cdf_.empty() ? 1.0 : cdf_.back(); }
 
  private:
   uint64_t n_;
   double theta_;
-  std::vector<double> cdf_;  // cumulative probabilities, size n (capped).
+  std::vector<double> cdf_;  // cumulative probabilities, size min(n, kCdfCap)
+  double total_ = 0.0;       // unnormalized mass over all n ranks
 };
 
 }  // namespace capd

@@ -17,6 +17,8 @@ std::vector<SampleCfResult> SampleCfEstimator::EstimateGroup(
   CAPD_CHECK(!defs.empty());
   const Table& sample = source_->Sample(defs.front().object, f);
   IndexBuilder builder(sample);
+  // The estimation path must never hold more than the sample: enforce it.
+  builder.set_max_materialize_rows(sample.num_rows());
 
   // The structure (object/keys/includes/filter/clustered-ness) is shared,
   // so the materialized rows and the uncompressed reference pack are too.

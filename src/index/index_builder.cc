@@ -45,17 +45,24 @@ std::vector<Row> IndexBuilder::MaterializeRows(const IndexDef& def) const {
   }
 
   std::vector<Row> rows;
-  rows.reserve(table_->num_rows());
-  int64_t rowid = 0;
-  for (const Row& r : table_->rows()) {
-    ++rowid;
-    if (def.filter.has_value() && !def.filter->Matches(r, base)) continue;
+  // Pre-size only when the table is already resident; for generated tables
+  // the reservation would itself be the O(n) allocation we are avoiding.
+  if (table_->materialized()) rows.reserve(table_->num_rows());
+  table_->ScanRows([&](uint64_t global_idx, const Row& r) {
+    // rowid stays the historical 1-based position so MixLocator emits the
+    // exact locator stream the goldens pin.
+    const int64_t rowid = static_cast<int64_t>(global_idx) + 1;
+    if (def.filter.has_value() && !def.filter->Matches(r, base)) return;
     Row projected;
     projected.reserve(positions.size() + 1);
     for (size_t p : positions) projected.push_back(r[p]);
     if (!def.clustered) projected.push_back(Value::Int64(MixLocator(rowid)));
     rows.push_back(std::move(projected));
-  }
+    CAPD_CHECK(max_materialize_rows_ == 0 ||
+               rows.size() <= max_materialize_rows_)
+        << "index materialization exceeded its memory budget of "
+        << max_materialize_rows_ << " rows (table " << table_->name() << ")";
+  });
 
   const size_t num_keys = def.key_columns.size();
   std::sort(rows.begin(), rows.end(), [num_keys](const Row& a, const Row& b) {

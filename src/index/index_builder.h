@@ -33,12 +33,22 @@ class IndexBuilder {
  public:
   explicit IndexBuilder(const Table& table) : table_(&table) {}
 
+  // Memory budget: CHECK-fails if MaterializeRows would retain more than
+  // this many rows (0 = unlimited). The estimation path sets it to the
+  // sample size, making "peak memory is O(sample)" an enforced invariant
+  // rather than a hope.
+  void set_max_materialize_rows(uint64_t budget) {
+    max_materialize_rows_ = budget;
+  }
+
   // Schema of the physically stored rows (stored columns; secondary indexes
   // additionally carry an 8-byte row locator).
   Schema StoredSchema(const IndexDef& def) const;
 
   // Filter + project + sort. Exposed so callers (SampleCF, global dict
-  // construction, tests) can reuse the materialized rows.
+  // construction, tests) can reuse the materialized rows. Streams the table
+  // block-by-block: only the filtered+projected rows are retained, never a
+  // second copy of the base table.
   std::vector<Row> MaterializeRows(const IndexDef& def) const;
 
   // Full build: returns the measured physical size.
@@ -53,6 +63,7 @@ class IndexBuilder {
 
  private:
   const Table* table_;
+  uint64_t max_materialize_rows_ = 0;
 };
 
 // Greedy page packing: fills each page with the longest row prefix whose

@@ -29,14 +29,16 @@ std::unique_ptr<Table> JoinFull(const Database& db, const MVDef& def) {
   }
   auto joined = std::make_unique<Table>(def.fact_table + "_joined",
                                         Schema(std::move(cols)));
-  std::vector<std::map<std::string, const Row*>> maps(dims.size());
+  // Dim rows are stored by value: with blocked tables ScanRows hands out a
+  // scratch row, so a pointer into the scan would dangle.
+  std::vector<std::map<std::string, Row>> maps(dims.size());
   for (size_t d = 0; d < dims.size(); ++d) {
-    for (const Row& row : dims[d]->rows()) {
-      maps[d][row[dim_key_pos[d]].ToString()] = &row;
-    }
+    dims[d]->ScanRows([&](uint64_t, const Row& row) {
+      maps[d][row[dim_key_pos[d]].ToString()] = row;
+    });
   }
-  joined->Reserve(fact.num_rows());
-  for (const Row& frow : fact.rows()) {
+  if (fact.materialized()) joined->Reserve(fact.num_rows());
+  fact.ScanRows([&](uint64_t, const Row& frow) {
     Row out = frow;
     bool ok = true;
     for (size_t d = 0; d < dims.size() && ok; ++d) {
@@ -45,14 +47,14 @@ std::unique_ptr<Table> JoinFull(const Database& db, const MVDef& def) {
         ok = false;
         break;
       }
-      const Row& drow = *it->second;
+      const Row& drow = it->second;
       for (size_t c = 0; c < drow.size(); ++c) {
         if (c == dim_key_pos[d]) continue;
         out.push_back(drow[c]);
       }
     }
     if (ok) joined->AddRow(std::move(out));
-  }
+  });
   return joined;
 }
 
@@ -121,15 +123,10 @@ std::unique_ptr<Table> AggregateRows(const Table& input, const MVDef& def,
     int64_t count = 0;
   };
   std::map<std::string, GroupAccum> groups;
-  for (const Row& row : input.rows()) {
-    bool pass = true;
+  input.ScanRows([&](uint64_t, const Row& row) {
     for (const ColumnFilter& p : def.predicates) {
-      if (!p.Matches(row, input.schema())) {
-        pass = false;
-        break;
-      }
+      if (!p.Matches(row, input.schema())) return;
     }
-    if (!pass) continue;
     std::string key;
     for (size_t p : group_pos) {
       key.append(row[p].ToString());
@@ -145,7 +142,7 @@ std::unique_ptr<Table> AggregateRows(const Table& input, const MVDef& def,
       acc.sums[a] += row[agg_pos[a]].NumericKey();
     }
     ++acc.count;
-  }
+  });
 
   auto mv = std::make_unique<Table>(def.name, out_schema);
   mv->Reserve(groups.size());

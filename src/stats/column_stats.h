@@ -56,24 +56,40 @@ struct ColumnStats {
 
 class TableStats {
  public:
+  // Rows drawn for the sampled-stats path on generated tables. Bounds the
+  // stats memory (and the scan's resident set) regardless of table size.
+  static constexpr uint64_t kSampledStatsRows = 16384;
+
   TableStats() = default;
 
-  // Scans the table once and computes stats for every column.
+  // Computes stats for every column. Materialized tables are scanned
+  // exactly, as always. Blocked/generated tables are profiled from a
+  // deterministic uniform sample of kSampledStatsRows rows (seeded by the
+  // table name): num_rows stays exact, distinct counts are GEE-scaled
+  // estimates, histograms and leading-zero averages come from the sample —
+  // so profiling a 10^8-row table costs O(sample) memory, never O(table).
   static TableStats Compute(const Table& table);
 
   const ColumnStats& column(const std::string& name) const;
   uint64_t num_rows() const { return num_rows_; }
 
-  // Exact distinct count over a column combination (used as the |AB|-style
-  // cardinality input to the ORD-DEP deduction). Computed on demand and
-  // memoized; intended to be called on samples, not full tables.
+  // Distinct count over a column combination (the |AB|-style cardinality
+  // input to the ORD-DEP deduction). Computed on demand and memoized.
+  // Exact for materialized tables (intended to be called on samples);
+  // GEE-scaled from the retained stats sample for generated tables.
   uint64_t DistinctOfColumns(const Table& table,
                              const std::vector<std::string>& cols) const;
 
  private:
+  static TableStats ComputeSampled(const Table& table);
+
   uint64_t num_rows_ = 0;
   std::map<std::string, ColumnStats> columns_;
   mutable std::map<std::string, uint64_t> combo_cache_;
+  // Sampled-path state: the retained sample rows DistinctOfColumns scales
+  // from. Empty on the exact path.
+  std::vector<Row> sample_rows_;
+  bool sampled_ = false;
 };
 
 }  // namespace capd

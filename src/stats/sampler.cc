@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/math_util.h"
 
 namespace capd {
 
@@ -12,12 +13,17 @@ std::unique_ptr<Table> CreateUniformSample(const Table& table, double f,
   CAPD_CHECK_GT(f, 0.0);
   CAPD_CHECK_LE(f, 1.0);
   const uint64_t n = table.num_rows();
-  uint64_t k = static_cast<uint64_t>(static_cast<double>(n) * f + 0.5);
-  k = std::min(n, std::max(k, std::min(n, min_rows)));
+  // Sample size: round(n * f), floored at min_rows, never more than n.
+  const uint64_t k =
+      std::clamp(RoundedFraction(n, f), std::min(min_rows, n), n);
   auto sample = std::make_unique<Table>(table.name() + "_sample", table.schema());
   sample->Reserve(k);
-  for (uint64_t idx : rng->SampleIndices(n, k)) {
-    sample->AddRow(table.rows()[idx]);
+  // Streaming extraction: the k indices are drawn up front in sorted order
+  // (O(k) memory), then the table is streamed block-by-block picking the
+  // requested rows — a generated 10^8-row table never materializes, and a
+  // materialized table yields the byte-identical sample it always did.
+  for (Row& row : table.CollectRows(rng->SampleIndices(n, k))) {
+    sample->AddRow(std::move(row));
   }
   return sample;
 }
@@ -25,29 +31,15 @@ std::unique_ptr<Table> CreateUniformSample(const Table& table, double f,
 std::unique_ptr<Table> CreateFilteredSample(const Table& sample,
                                             const ColumnFilter& filter) {
   auto filtered = std::make_unique<Table>(sample.name() + "_flt", sample.schema());
-  for (const Row& row : sample.rows()) {
-    if (filter.Matches(row, sample.schema())) filtered->AddRow(row);
-  }
+  const Schema& schema = sample.schema();
+  sample.ScanRows([&](uint64_t, const Row& row) {
+    if (filter.Matches(row, schema)) filtered->AddRow(row);
+  });
   return filtered;
 }
 
-namespace {
-
-// FNV-1a: a fixed, platform-independent string hash so per-key sample seeds
-// (and therefore every estimate) are reproducible across runs and builds.
-uint64_t Fnv1a(const std::string& s) {
-  uint64_t h = 1469598103934665603ull;
-  for (const char c : s) {
-    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-}  // namespace
-
 Random SampleManager::RngFor(const std::string& key) const {
-  return Random(seed_ ^ Fnv1a(key));
+  return Random(seed_ ^ Fnv1a64(key));
 }
 
 uint64_t SampleManager::rows_scanned() const {

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "workloads/sales.h"
+#include "workloads/scale.h"
 #include "workloads/tpcds_lite.h"
 #include "workloads/tpch.h"
 
@@ -31,6 +32,15 @@ void BuildSales(const WorkloadSpec& spec, BuiltWorkload* out) {
   out->seed = opt.seed;
 }
 
+void BuildScale(const WorkloadSpec& spec, BuiltWorkload* out) {
+  scale::Options opt;
+  if (spec.rows > 0) opt.fact_rows = spec.rows;
+  if (spec.seed > 0) opt.seed = spec.seed;
+  scale::Build(out->db.get(), opt);
+  out->workload = scale::MakeWorkload(*out->db, opt);
+  out->seed = opt.seed;
+}
+
 void BuildTpcds(const WorkloadSpec& spec, BuiltWorkload* out) {
   tpcds::Options opt;
   if (spec.rows > 0) opt.store_sales_rows = spec.rows;
@@ -46,6 +56,7 @@ const std::map<std::string, Builder>& Builders() {
   static const std::map<std::string, Builder> kBuilders = {
       {"tpch", &BuildTpch},
       {"sales", &BuildSales},
+      {"scale", &BuildScale},
       {"tpcds-lite", &BuildTpcds},
   };
   return kBuilders;

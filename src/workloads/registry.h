@@ -1,7 +1,7 @@
 // Workload registry: one code path from a (name, rows, seed, skew) spec to
 // a built Database + Workload. Collapses the per-workload stack builders
 // that benches, goldens, the engine tests and the capd_tune CLI used to
-// copy-paste, and gives string-keyed lookup ("tpch", "sales",
+// copy-paste, and gives string-keyed lookup ("tpch", "sales", "scale",
 // "tpcds-lite") with a clean error for unknown names.
 #ifndef CAPD_WORKLOADS_REGISTRY_H_
 #define CAPD_WORKLOADS_REGISTRY_H_
@@ -18,7 +18,7 @@ namespace capd {
 namespace workloads {
 
 struct WorkloadSpec {
-  std::string name;  // "tpch" | "sales" | "tpcds-lite" (alias "tpcds")
+  std::string name;  // "tpch" | "sales" | "scale" | "tpcds-lite" ("tpcds")
   uint64_t rows = 0;    // fact-table rows; 0 = the workload's default scale
   uint64_t seed = 0;    // 0 = the workload's default seed
   double skew_z = 0.0;  // Zipf skew knob (tpch only; others ignore it)

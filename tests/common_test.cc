@@ -175,5 +175,148 @@ TEST(MathTest, MeanAndStdDev) {
   EXPECT_NEAR(StdDev(xs), 2.0, 1e-12);
 }
 
+// Reference: the bitmap-membership Floyd variant SampleIndices used before
+// the hash-set swap. The emitted indices and engine consumption must be
+// identical for any (seed, n, k) in the Floyd regime.
+std::vector<uint64_t> BitmapFloydReference(uint64_t n, uint64_t k,
+                                           Random* rng) {
+  std::vector<uint64_t> picked;
+  picked.reserve(k);
+  std::vector<bool> seen(n);
+  for (uint64_t j = n - k; j < n; ++j) {
+    const uint64_t t = rng->Next(j + 1);
+    if (!seen[t]) {
+      seen[t] = true;
+      picked.push_back(t);
+    } else {
+      seen[j] = true;
+      picked.push_back(j);
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+TEST(RandomTest, SampleIndicesMatchesBitmapFloydReference) {
+  const struct {
+    uint64_t seed, n, k;
+  } cases[] = {{1, 1000, 10},    {2, 1000, 400},  {42, 50000, 500},
+               {7, 123457, 777}, {99, 10000, 1},  {20110829, 65536, 4000}};
+  for (const auto& c : cases) {
+    Random a(c.seed), b(c.seed);
+    EXPECT_EQ(a.SampleIndices(c.n, c.k), BitmapFloydReference(c.n, c.k, &b))
+        << "seed=" << c.seed << " n=" << c.n << " k=" << c.k;
+    // Both must have consumed the engine identically.
+    EXPECT_EQ(a.Next(1u << 30), b.Next(1u << 30));
+  }
+}
+
+// Reference: the uncapped CDF table + lower_bound draw ZipfGenerator used
+// before the cap. For n <= kCdfCap the capped generator must be
+// bit-identical, both in draws and in engine consumption.
+TEST(ZipfTest, SubCapBitIdenticalToUncappedReference) {
+  for (const double theta : {0.0, 0.5, 1.0, 2.0}) {
+    const uint64_t n = 50000;
+    std::vector<double> cdf(n);
+    double total = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf[i] = total;
+    }
+    for (uint64_t i = 0; i < n; ++i) cdf[i] /= total;
+
+    const ZipfGenerator zipf(n, theta);
+    EXPECT_EQ(zipf.head_mass(), 1.0);
+    Random a(17), b(17);
+    for (int i = 0; i < 20000; ++i) {
+      const double u = b.NextDouble();
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      const uint64_t expected =
+          it == cdf.end() ? n - 1 : static_cast<uint64_t>(it - cdf.begin());
+      ASSERT_EQ(zipf.Next(&a), expected) << "theta=" << theta << " i=" << i;
+    }
+  }
+}
+
+TEST(ZipfTest, CappedTailMatchesAnalyticMass) {
+  // n four times the cap: a real analytic tail, still fast to sample.
+  const uint64_t n = 4 * ZipfGenerator::kCdfCap;
+  const ZipfGenerator zipf(n, 1.0);
+  EXPECT_LT(zipf.head_mass(), 1.0);
+  EXPECT_GT(zipf.head_mass(), 0.9);  // theta=1: head holds most of the mass
+
+  Random rng(123);
+  const int kDraws = 200000;
+  int tail_draws = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const uint64_t r = zipf.Next(&rng);
+    ASSERT_LT(r, n);
+    if (r >= ZipfGenerator::kCdfCap) ++tail_draws;
+  }
+  const double expected = 1.0 - zipf.head_mass();
+  const double observed = static_cast<double>(tail_draws) / kDraws;
+  EXPECT_NEAR(observed, expected, 0.2 * expected + 1e-4);
+}
+
+TEST(ZipfTest, NextConsumesExactlyOneDoubleInBothRegimes) {
+  for (const uint64_t n : {uint64_t{1000}, 4 * ZipfGenerator::kCdfCap}) {
+    const ZipfGenerator zipf(n, 1.0);
+    Random a(5), b(5);
+    for (int i = 0; i < 5000; ++i) {
+      zipf.Next(&a);
+      b.NextDouble();
+    }
+    EXPECT_EQ(a.Next(1u << 30), b.Next(1u << 30)) << "n=" << n;
+  }
+}
+
+TEST(ZipfTest, HundredMillionKeysConstructsCapped) {
+  // O(cap) memory and construction: the CDF table stops at kCdfCap no
+  // matter how large n is.
+  const uint64_t n = 100000000;
+  const ZipfGenerator zipf(n, 1.0);
+  EXPECT_EQ(zipf.n(), n);
+  EXPECT_LT(zipf.head_mass(), 1.0);
+  Random rng(31337);
+  bool saw_tail = false;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t r = zipf.Next(&rng);
+    ASSERT_LT(r, n);
+    if (r >= ZipfGenerator::kCdfCap) saw_tail = true;
+  }
+  EXPECT_TRUE(saw_tail);
+}
+
+TEST(MathTest, RoundedFractionMatchesLegacyCastForSmallN) {
+  const uint64_t ns[] = {0, 1, 7, 100, 9999, 1000000, 1ull << 40, 1ull << 52};
+  const double fs[] = {1e-9, 0.001, 0.01, 0.025, 0.3333333333, 0.5, 0.999};
+  for (const uint64_t n : ns) {
+    for (const double f : fs) {
+      EXPECT_EQ(RoundedFraction(n, f),
+                static_cast<uint64_t>(static_cast<double>(n) * f + 0.5))
+          << "n=" << n << " f=" << f;
+    }
+  }
+}
+
+TEST(MathTest, RoundedFractionExtremes) {
+  EXPECT_EQ(RoundedFraction(1000, 0.0), 0u);
+  EXPECT_EQ(RoundedFraction(1000, -0.5), 0u);
+  EXPECT_EQ(RoundedFraction(1000, 1.0), 1000u);
+  EXPECT_EQ(RoundedFraction(1000, 2.0), 1000u);
+  EXPECT_EQ(RoundedFraction(0, 0.5), 0u);
+  // Above 2^52 the double product loses integer precision; the long-double
+  // path must stay in range and never overflow to 0 or wrap.
+  const uint64_t huge = ~0ull;  // 2^64 - 1
+  const double near_one = 1.0 - 1e-15;
+  const uint64_t r = RoundedFraction(huge, near_one);
+  EXPECT_LE(r, huge);
+  EXPECT_GT(r, huge / 2);
+  // A tiny fraction of a huge n is ~n*f.
+  const uint64_t small = RoundedFraction(1ull << 60, 1e-12);
+  EXPECT_NEAR(static_cast<double>(small),
+              static_cast<double>(1ull << 60) * 1e-12, 1e3);
+}
+
 }  // namespace
 }  // namespace capd

@@ -83,6 +83,26 @@ TEST(SamplerTest, MinRowsFloor) {
   EXPECT_EQ(sample->num_rows(), 50u);
 }
 
+TEST(SamplerTest, EdgeFractionsClampWithoutOverflow) {
+  Table t("t", Schema({{"a", ValueType::kInt64, 8}}));
+  for (int i = 0; i < 100; ++i) t.AddRow({Value::Int64(i)});
+  // f = 1.0 takes every row exactly once, in order.
+  Random rng(4);
+  auto all = CreateUniformSample(t, 1.0, 1, &rng);
+  ASSERT_EQ(all->num_rows(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(all->rows()[i][0].AsInt64(), i);
+  // Tiny f floors at min_rows, capped at n.
+  Random rng2(4);
+  auto floor = CreateUniformSample(t, 1e-12, 500, &rng2);
+  EXPECT_EQ(floor->num_rows(), 100u);  // min_rows > n clamps to n
+  // Sub-half-row fraction on a tiny table rounds to 0 and floors at 1.
+  Table one("one", Schema({{"a", ValueType::kInt64, 8}}));
+  one.AddRow({Value::Int64(9)});
+  Random rng3(4);
+  auto single = CreateUniformSample(one, 1e-6, 1, &rng3);
+  EXPECT_EQ(single->num_rows(), 1u);
+}
+
 TEST(SamplerTest, SampleRowsComeFromTable) {
   Table t("t", Schema({{"a", ValueType::kInt64, 8}}));
   for (int i = 0; i < 1000; ++i) t.AddRow({Value::Int64(i * 7)});
