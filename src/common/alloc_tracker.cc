@@ -1,0 +1,83 @@
+#include "common/alloc_tracker.h"
+
+#include <malloc.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// GCC pairs the replaced operator new's malloc with the replaced delete's
+// free and flags the (correct) combination; the replacement pattern is
+// standard, so silence the false positive for this TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+
+// Constant-initialized: safe for allocations during static initialization.
+std::atomic<unsigned long long> g_alloc_count{0};
+std::atomic<long long> g_live_bytes{0};
+std::atomic<long long> g_peak_bytes{0};
+
+void TrackAlloc(void* p) {
+  if (p == nullptr) return;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const long long size = static_cast<long long>(malloc_usable_size(p));
+  const long long now =
+      g_live_bytes.fetch_add(size, std::memory_order_relaxed) + size;
+  long long peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (now > peak && !g_peak_bytes.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void TrackFree(void* p) {
+  if (p == nullptr) return;
+  g_live_bytes.fetch_sub(static_cast<long long>(malloc_usable_size(p)),
+                         std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void* operator new(size_t size) {
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  TrackAlloc(p);
+  return p;
+}
+
+void* operator new[](size_t size) { return operator new(size); }
+
+void operator delete(void* p) noexcept {
+  TrackFree(p);
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept { operator delete(p); }
+
+void operator delete(void* p, size_t) noexcept { operator delete(p); }
+
+void operator delete[](void* p, size_t) noexcept { operator delete(p); }
+
+namespace capd {
+
+uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+long long LiveAllocBytes() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+
+long long PeakAllocBytes() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+
+long long ResetPeakAllocBytes() {
+  const long long live = g_live_bytes.load(std::memory_order_relaxed);
+  g_peak_bytes.store(live, std::memory_order_relaxed);
+  return live;
+}
+
+}  // namespace capd

@@ -1,0 +1,35 @@
+// Per-process allocation tracker. The companion .cc replaces the global
+// operator new/delete with thin wrappers over malloc/free that maintain
+// three atomic counters: cumulative allocation count, live bytes, and peak
+// live bytes (via glibc's malloc_usable_size, so sizes reflect what the
+// allocator actually handed out).
+//
+// Linking: capd_core is a static library, so the replacement operators are
+// pulled into a binary only when that binary references a symbol from the
+// tracker's translation unit — i.e. calling any accessor below activates
+// tracking for the whole binary. Binaries that never call them keep the
+// default allocator. Used by tests/scale_test.cc (O(sample) memory budget)
+// and the allocs_per_row counters in bench_micro_codecs/bench_scale_sweep.
+#ifndef CAPD_COMMON_ALLOC_TRACKER_H_
+#define CAPD_COMMON_ALLOC_TRACKER_H_
+
+#include <cstdint>
+
+namespace capd {
+
+// Cumulative number of operator-new allocations since process start.
+uint64_t AllocCount();
+
+// Bytes currently live (allocated minus freed, usable sizes).
+long long LiveAllocBytes();
+
+// High-water mark of LiveAllocBytes().
+long long PeakAllocBytes();
+
+// Resets the peak to the current live size (for peak-delta measurements)
+// and returns the new peak.
+long long ResetPeakAllocBytes();
+
+}  // namespace capd
+
+#endif  // CAPD_COMMON_ALLOC_TRACKER_H_

@@ -6,31 +6,34 @@
 
 namespace capd {
 
-void Codec::ValidatePage(const EncodedPage& page) const {
-  for (const auto& row : page.rows) {
-    CAPD_CHECK_EQ(row.size(), num_columns());
-    for (size_t c = 0; c < row.size(); ++c) {
-      CAPD_CHECK_EQ(row[c].size(), static_cast<size_t>(widths_[c]));
-    }
+void Codec::ValidateSpan(const FlatSpan& span) const {
+  CAPD_CHECK_EQ(span.num_columns(), num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    CAPD_CHECK_EQ(span.width(c), widths_[c]);
   }
 }
 
-std::vector<uint32_t> ColumnWidths(const Schema& schema) {
-  std::vector<uint32_t> widths;
-  widths.reserve(schema.num_columns());
-  for (const Column& c : schema.columns()) widths.push_back(c.width);
-  return widths;
+std::string Codec::CompressPage(const EncodedPage& page) const {
+  return CompressPage(FlatPage::FromEncodedPage(page, widths_).span());
 }
 
-std::string NoneCodec::CompressPage(const EncodedPage& page) const {
-  ValidatePage(page);
+std::string NoneCodec::CompressPage(const FlatSpan& span) const {
+  ValidateSpan(span);
+  const size_t n = span.num_rows();
   std::string blob;
-  PutVarint(page.rows.size(), &blob);
-  for (const auto& row : page.rows) {
-    for (const std::string& field : row) blob.append(field);
+  blob.reserve(MeasurePage(span));
+  PutVarint(n, &blob);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < num_columns(); ++c) blob.append(span.field(r, c));
     blob.append(kRowOverhead, '\0');  // slot-array cost of the row format
   }
   return blob;
+}
+
+uint64_t NoneCodec::MeasurePage(const FlatSpan& span) const {
+  ValidateSpan(span);
+  const uint64_t n = span.num_rows();
+  return VarintSize(n) + n * (row_width() + kRowOverhead);
 }
 
 EncodedPage NoneCodec::DecompressPage(std::string_view blob) const {
@@ -52,14 +55,38 @@ EncodedPage NoneCodec::DecompressPage(std::string_view blob) const {
   return page;
 }
 
-std::string RowCodec::CompressPage(const EncodedPage& page) const {
-  ValidatePage(page);
+std::string RowCodec::CompressPage(const FlatSpan& span) const {
+  ValidateSpan(span);
+  const size_t n = span.num_rows();
   std::string blob;
-  PutVarint(page.rows.size(), &blob);
-  for (const auto& row : page.rows) {
-    for (const std::string& field : row) NsCompressField(field, &blob);
+  blob.reserve(MeasurePage(span));
+  PutVarint(n, &blob);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < num_columns(); ++c) {
+      NsCompressField(span.field(r, c), &blob);
+    }
   }
   return blob;
+}
+
+uint64_t RowCodec::MeasurePage(const FlatSpan& span) const {
+  ValidateSpan(span);
+  const uint64_t n = span.num_rows();
+  uint64_t total = VarintSize(n);
+  // Column-major: each column's cells are contiguous, so the SWAR
+  // CountLeadingZeros kernel streams straight through the arena. Stored NS
+  // bytes per cell are 1 + width - leading_zeros.
+  for (size_t c = 0; c < num_columns(); ++c) {
+    const uint32_t w = widths_[c];
+    CAPD_CHECK_LE(w, 255u);
+    const char* base = span.column_data(c);
+    uint64_t zeros = 0;
+    for (uint64_t r = 0; r < n; ++r) {
+      zeros += CountLeadingZeros(FieldView(base + r * w, w));
+    }
+    total += n * (1 + static_cast<uint64_t>(w)) - zeros;
+  }
+  return total;
 }
 
 EncodedPage RowCodec::DecompressPage(std::string_view blob) const {
@@ -72,6 +99,7 @@ EncodedPage RowCodec::DecompressPage(std::string_view blob) const {
     fields.reserve(num_columns());
     for (uint32_t w : widths_) {
       std::string field;
+      field.reserve(w);
       NsDecompressField(blob, &offset, w, &field);
       fields.push_back(std::move(field));
     }

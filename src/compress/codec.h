@@ -1,7 +1,15 @@
 // Page codec interface plus the trivial (NONE) and ROW (null suppression)
-// codecs. A codec turns one EncodedPage (rows with fixed-width fields) into
-// a self-describing byte blob and back; blob size is what the index builder
-// packs against the 8 KiB page capacity.
+// codecs. A codec turns one flat columnar span (FlatSpan: rows with fixed
+// width fields in a single arena) into a self-describing byte blob and back;
+// blob size is what the index builder packs against the 8 KiB page capacity.
+//
+// Two entry points per codec, with a pinned contract:
+//   - CompressPage(span): materializes the blob (round-trips through
+//     DecompressPage);
+//   - MeasurePage(span):  the exact blob size in bytes WITHOUT building it.
+//     MeasurePage(s) == CompressPage(s).size() for every codec and span —
+//     the size-only path is what the page packer and SampleCF drive, so the
+//     estimation hot loop never materializes compressed output at all.
 #ifndef CAPD_COMPRESS_CODEC_H_
 #define CAPD_COMPRESS_CODEC_H_
 
@@ -11,13 +19,16 @@
 #include <vector>
 
 #include "compress/compression_kind.h"
+#include "compress/flat_page.h"
 #include "storage/encoding.h"
 
 namespace capd {
 
 class Codec {
  public:
-  explicit Codec(std::vector<uint32_t> widths) : widths_(std::move(widths)) {}
+  explicit Codec(std::vector<uint32_t> widths) : widths_(std::move(widths)) {
+    for (uint32_t w : widths_) row_width_ += w;
+  }
   virtual ~Codec() = default;
 
   Codec(const Codec&) = delete;
@@ -25,9 +36,19 @@ class Codec {
 
   virtual CompressionKind kind() const = 0;
 
-  // Serializes the page. The blob must round-trip through DecompressPage.
-  virtual std::string CompressPage(const EncodedPage& page) const = 0;
+  // Serializes the span. The blob must round-trip through DecompressPage.
+  virtual std::string CompressPage(const FlatSpan& span) const = 0;
+
+  // Exact size in bytes of CompressPage(span), computed without
+  // materializing the blob. Size-only kernels: no output buffer, no
+  // per-field copies.
+  virtual uint64_t MeasurePage(const FlatSpan& span) const = 0;
+
   virtual EncodedPage DecompressPage(std::string_view blob) const = 0;
+
+  // Legacy row-major entry point: flattens and delegates. Byte-identical to
+  // compressing the equivalent FlatSpan.
+  std::string CompressPage(const EncodedPage& page) const;
 
   // Storage charged once per index regardless of page count (e.g. the
   // global dictionary). Zero for page-local codecs.
@@ -36,24 +57,28 @@ class Codec {
   bool order_dependent() const { return IsOrderDependent(kind()); }
   const std::vector<uint32_t>& widths() const { return widths_; }
   size_t num_columns() const { return widths_.size(); }
+  // Bytes per row across all columns (fields only, no row overhead).
+  size_t row_width() const { return row_width_; }
 
  protected:
-  // Aborts unless the page's rows all have num_columns() fields.
-  void ValidatePage(const EncodedPage& page) const;
+  // Aborts unless the span's column widths match the codec's. O(columns):
+  // field widths are structural in a FlatPage, so there is nothing
+  // per-cell to validate.
+  void ValidateSpan(const FlatSpan& span) const;
 
   std::vector<uint32_t> widths_;
+  size_t row_width_ = 0;
 };
-
-// Widths vector for a schema (helper for codec construction).
-std::vector<uint32_t> ColumnWidths(const Schema& schema);
 
 // No compression: fields stored verbatim plus the per-row slot overhead.
 class NoneCodec : public Codec {
  public:
   explicit NoneCodec(std::vector<uint32_t> widths) : Codec(std::move(widths)) {}
 
+  using Codec::CompressPage;
   CompressionKind kind() const override { return CompressionKind::kNone; }
-  std::string CompressPage(const EncodedPage& page) const override;
+  std::string CompressPage(const FlatSpan& span) const override;
+  uint64_t MeasurePage(const FlatSpan& span) const override;
   EncodedPage DecompressPage(std::string_view blob) const override;
 };
 
@@ -63,8 +88,10 @@ class RowCodec : public Codec {
  public:
   explicit RowCodec(std::vector<uint32_t> widths) : Codec(std::move(widths)) {}
 
+  using Codec::CompressPage;
   CompressionKind kind() const override { return CompressionKind::kRow; }
-  std::string CompressPage(const EncodedPage& page) const override;
+  std::string CompressPage(const FlatSpan& span) const override;
+  uint64_t MeasurePage(const FlatSpan& span) const override;
   EncodedPage DecompressPage(std::string_view blob) const override;
 };
 

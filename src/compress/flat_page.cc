@@ -1,0 +1,91 @@
+#include "compress/flat_page.h"
+
+#include "common/logging.h"
+
+namespace capd {
+
+FlatPage::FlatPage(std::vector<uint32_t> widths, size_t rows)
+    : widths_(std::move(widths)), rows_(rows) {
+  col_offsets_.reserve(widths_.size());
+  for (uint32_t w : widths_) {
+    col_offsets_.push_back(row_width_ * rows_);
+    row_width_ += w;
+  }
+  // Exactly one arena allocation per page, regardless of cell count.
+  arena_.reserve(row_width_ * rows_);
+}
+
+FlatSpan FlatPage::span(size_t begin, size_t end) const {
+  CAPD_CHECK_LE(begin, end);
+  CAPD_CHECK_LE(end, rows_);
+  return FlatSpan(this, begin, end - begin);
+}
+
+FlatPage FlatPage::FromRows(const std::vector<Row>& rows, const Schema& schema,
+                            size_t begin, size_t end) {
+  CAPD_CHECK_LE(begin, end);
+  CAPD_CHECK_LE(end, rows.size());
+  FlatPage page(ColumnWidths(schema), end - begin);
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const Column& col = schema.column(c);
+    for (size_t i = begin; i < end; ++i) {
+      const Row& row = rows[i];
+      CAPD_CHECK_EQ(row.size(), schema.num_columns());
+      // EncodeField appends exactly col.width bytes to the arena; the
+      // column-major fill order matches col_offsets_.
+      EncodeField(row[c], col, &page.arena_);
+    }
+  }
+  CAPD_CHECK_EQ(page.arena_.size(), page.row_width_ * page.rows_);
+  return page;
+}
+
+FlatPage FlatPage::FromBlock(const ColumnBlock& block, const Schema& schema) {
+  CAPD_CHECK_EQ(block.num_columns(), schema.num_columns());
+  const size_t n = static_cast<size_t>(block.num_rows());
+  FlatPage page(ColumnWidths(schema), n);
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const Column& col = schema.column(c);
+    for (size_t r = 0; r < n; ++r) {
+      EncodeField(block.value(c, r), col, &page.arena_);
+    }
+  }
+  CAPD_CHECK_EQ(page.arena_.size(), page.row_width_ * page.rows_);
+  return page;
+}
+
+FlatPage FlatPage::FromEncodedPage(const EncodedPage& encoded,
+                                   const std::vector<uint32_t>& widths) {
+  FlatPage page(widths, encoded.rows.size());
+  for (size_t c = 0; c < widths.size(); ++c) {
+    for (const auto& row : encoded.rows) {
+      CAPD_CHECK_EQ(row.size(), widths.size());
+      CAPD_CHECK_EQ(row[c].size(), static_cast<size_t>(widths[c]));
+      page.arena_.append(row[c]);
+    }
+  }
+  return page;
+}
+
+EncodedPage FlatPage::ToEncodedPage() const {
+  EncodedPage out;
+  out.rows.reserve(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    std::vector<std::string> fields;
+    fields.reserve(num_columns());
+    for (size_t c = 0; c < num_columns(); ++c) {
+      fields.emplace_back(field(r, c));
+    }
+    out.rows.push_back(std::move(fields));
+  }
+  return out;
+}
+
+std::vector<uint32_t> ColumnWidths(const Schema& schema) {
+  std::vector<uint32_t> widths;
+  widths.reserve(schema.num_columns());
+  for (const Column& c : schema.columns()) widths.push_back(c.width);
+  return widths;
+}
+
+}  // namespace capd

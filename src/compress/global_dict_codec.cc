@@ -21,19 +21,28 @@ uint32_t BytesFor(uint64_t distinct) {
 
 std::unique_ptr<GlobalDictCodec> GlobalDictCodec::Build(
     const std::vector<Row>& rows, const Schema& schema) {
-  auto codec =
-      std::unique_ptr<GlobalDictCodec>(new GlobalDictCodec(ColumnWidths(schema)));
+  auto codec = std::unique_ptr<GlobalDictCodec>(
+      new GlobalDictCodec(ColumnWidths(schema)));
   const size_t ncols = schema.num_columns();
   codec->dicts_.resize(ncols);
   codec->rdicts_.resize(ncols);
   codec->ptr_widths_.resize(ncols);
+  // One scratch encoding buffer: repeated values (the common case) probe
+  // the dictionary without allocating; only first occurrences copy into a
+  // map key, which rdicts_ then views (map keys are address-stable).
+  std::string scratch;
   for (const Row& row : rows) {
     CAPD_CHECK_EQ(row.size(), ncols);
     for (size_t c = 0; c < ncols; ++c) {
-      std::string enc = EncodeFieldToString(row[c], schema.column(c));
-      auto [it, inserted] = codec->dicts_[c].try_emplace(
-          std::move(enc), static_cast<uint32_t>(codec->rdicts_[c].size()));
-      if (inserted) codec->rdicts_[c].push_back(it->first);
+      scratch.clear();
+      EncodeField(row[c], schema.column(c), &scratch);
+      auto& dict = codec->dicts_[c];
+      if (dict.find(std::string_view(scratch)) == dict.end()) {
+        const auto [it, inserted] = dict.emplace(
+            scratch, static_cast<uint32_t>(codec->rdicts_[c].size()));
+        CAPD_CHECK(inserted);
+        codec->rdicts_[c].push_back(it->first);
+      }
     }
   }
   for (size_t c = 0; c < ncols; ++c) {
@@ -45,17 +54,19 @@ std::unique_ptr<GlobalDictCodec> GlobalDictCodec::Build(
 
 // Blob layout: varint n_rows, then column-major pointer arrays of fixed
 // per-column width.
-std::string GlobalDictCodec::CompressPage(const EncodedPage& page) const {
-  ValidatePage(page);
+std::string GlobalDictCodec::CompressPage(const FlatSpan& span) const {
+  ValidateSpan(span);
   std::string blob;
-  PutVarint(page.rows.size(), &blob);
+  const size_t n = span.num_rows();
+  blob.reserve(MeasurePage(span));
+  PutVarint(n, &blob);
   for (size_t c = 0; c < num_columns(); ++c) {
     const uint32_t pw = ptr_widths_[c];
-    for (const auto& row : page.rows) {
-      const auto it = dicts_[c].find(row[c]);
+    for (size_t i = 0; i < n; ++i) {
+      const auto it = dicts_[c].find(span.field(i, c));
       CAPD_CHECK(it != dicts_[c].end())
           << "value missing from global dictionary (column " << c << ")";
-      uint32_t id = it->second;
+      const uint32_t id = it->second;
       for (uint32_t b = 0; b < pw; ++b) {
         blob.push_back(static_cast<char>((id >> (8 * (pw - 1 - b))) & 0xff));
       }
@@ -64,11 +75,22 @@ std::string GlobalDictCodec::CompressPage(const EncodedPage& page) const {
   return blob;
 }
 
+uint64_t GlobalDictCodec::MeasurePage(const FlatSpan& span) const {
+  // Pointer arrays are fixed-width, so the size is a closed form; the
+  // membership CHECK stays on the materializing path.
+  ValidateSpan(span);
+  const uint64_t n = span.num_rows();
+  uint64_t total = VarintSize(n);
+  for (size_t c = 0; c < num_columns(); ++c) total += n * ptr_widths_[c];
+  return total;
+}
+
 EncodedPage GlobalDictCodec::DecompressPage(std::string_view blob) const {
   size_t offset = 0;
   const uint64_t n = GetVarint(blob, &offset);
   EncodedPage page;
-  page.rows.assign(n, std::vector<std::string>(num_columns()));
+  page.rows.resize(n);
+  for (auto& row : page.rows) row.resize(num_columns());
   for (size_t c = 0; c < num_columns(); ++c) {
     const uint32_t pw = ptr_widths_[c];
     for (uint64_t i = 0; i < n; ++i) {
@@ -78,7 +100,7 @@ EncodedPage GlobalDictCodec::DecompressPage(std::string_view blob) const {
         id = (id << 8) | static_cast<uint8_t>(blob[offset++]);
       }
       CAPD_CHECK_LT(id, rdicts_[c].size());
-      page.rows[i][c] = rdicts_[c][id];
+      page.rows[i][c].assign(rdicts_[c][id]);
     }
   }
   return page;
@@ -87,7 +109,7 @@ EncodedPage GlobalDictCodec::DecompressPage(std::string_view blob) const {
 uint64_t GlobalDictCodec::IndexOverheadBytes() const {
   uint64_t bytes = 0;
   for (size_t c = 0; c < rdicts_.size(); ++c) {
-    for (const std::string& entry : rdicts_[c]) {
+    for (const std::string_view entry : rdicts_[c]) {
       bytes += VarintSize(entry.size()) + entry.size();
     }
   }

@@ -2,12 +2,16 @@
 // index (DB2 style). Pages store fixed-width pointers into the dictionary;
 // the dictionary itself is charged once via IndexOverheadBytes(). Order
 // independent: page contents do not change the dictionary or pointer sizes.
+// Probing is heterogeneous (std::less<> on string_views into the flat
+// arena), so neither building pointer arrays nor measuring them copies any
+// field bytes.
 #ifndef CAPD_COMPRESS_GLOBAL_DICT_CODEC_H_
 #define CAPD_COMPRESS_GLOBAL_DICT_CODEC_H_
 
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "compress/codec.h"
@@ -22,8 +26,10 @@ class GlobalDictCodec : public Codec {
   static std::unique_ptr<GlobalDictCodec> Build(const std::vector<Row>& rows,
                                                 const Schema& schema);
 
+  using Codec::CompressPage;
   CompressionKind kind() const override { return CompressionKind::kGlobalDict; }
-  std::string CompressPage(const EncodedPage& page) const override;
+  std::string CompressPage(const FlatSpan& span) const override;
+  uint64_t MeasurePage(const FlatSpan& span) const override;
   EncodedPage DecompressPage(std::string_view blob) const override;
   uint64_t IndexOverheadBytes() const override;
 
@@ -35,9 +41,10 @@ class GlobalDictCodec : public Codec {
   explicit GlobalDictCodec(std::vector<uint32_t> widths)
       : Codec(std::move(widths)) {}
 
-  // dicts_[c]: encoded field -> id; rdicts_[c][id] -> encoded field.
-  std::vector<std::map<std::string, uint32_t>> dicts_;
-  std::vector<std::vector<std::string>> rdicts_;
+  // dicts_[c]: encoded field -> id (std::less<> enables string_view probes);
+  // rdicts_[c][id]: view of the owning map key.
+  std::vector<std::map<std::string, uint32_t, std::less<>>> dicts_;
+  std::vector<std::vector<std::string_view>> rdicts_;
   std::vector<uint32_t> ptr_widths_;
 };
 

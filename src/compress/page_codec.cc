@@ -1,7 +1,9 @@
 #include "compress/page_codec.h"
 
+#include <cstring>
 #include <map>
 #include <string_view>
+#include <utility>
 
 #include "common/logging.h"
 #include "compress/null_suppression.h"
@@ -10,19 +12,50 @@
 namespace capd {
 namespace {
 
-// Longest common prefix (in bytes) of a column's values within the page.
-size_t CommonPrefixLen(const EncodedPage& page, size_t col) {
-  if (page.rows.empty()) return 0;
-  std::string_view anchor = page.rows[0][col];
+// Longest common prefix (in bytes) of a column's values within the span.
+size_t CommonPrefixLen(const FlatSpan& span, size_t col) {
+  const size_t n = span.num_rows();
+  if (n == 0) return 0;
+  const FieldView anchor = span.field(0, col);
   size_t len = anchor.size();
-  for (size_t i = 1; i < page.rows.size() && len > 0; ++i) {
-    std::string_view v = page.rows[i][col];
+  for (size_t i = 1; i < n && len > 0; ++i) {
+    const FieldView v = span.field(i, col);
     size_t k = 0;
     while (k < len && v[k] == anchor[k]) ++k;
     len = k;
   }
   return len;
 }
+
+// Per-column compression plan, shared between CompressPage and MeasurePage
+// so the two can never disagree on a byte. Keys are views into the span's
+// arena: counting, id assignment and per-cell probing all run on interned
+// slices without copying a field.
+struct ColumnPlan {
+  size_t anchor_len = 0;
+  // remainder -> dictionary id + 1 for repeated values, 0 for literals.
+  // std::map gives deterministic (lexicographic) entry order.
+  std::map<FieldView, uint32_t> code;
+  std::vector<FieldView> dict;  // dictionary entries in id order
+
+  ColumnPlan(const FlatSpan& span, size_t col) {
+    anchor_len = CommonPrefixLen(span, col);
+    const size_t n = span.num_rows();
+    for (size_t i = 0; i < n; ++i) {
+      ++code[span.field(i, col).substr(anchor_len)];  // count occurrences
+    }
+    // Values occurring >= 2 times go to the local dictionary; the rest are
+    // stored literally (code 0).
+    for (auto& [rem, entry] : code) {
+      if (entry >= 2) {
+        dict.push_back(rem);
+        entry = static_cast<uint32_t>(dict.size());  // id + 1
+      } else {
+        entry = 0;
+      }
+    }
+  }
+};
 
 }  // namespace
 
@@ -33,81 +66,84 @@ size_t CommonPrefixLen(const EncodedPage& page, size_t col) {
 //     varint dict_count, dict entries (each: NS of the post-anchor remainder)
 //     n_rows cells: varint code; code==0 -> literal NS remainder follows,
 //                   code>=1  -> dictionary entry code-1.
-std::string PageCodec::CompressPage(const EncodedPage& page) const {
-  ValidatePage(page);
+std::string PageCodec::CompressPage(const FlatSpan& span) const {
+  ValidateSpan(span);
   std::string blob;
-  const size_t n = page.rows.size();
+  const size_t n = span.num_rows();
   PutVarint(n, &blob);
   for (size_t c = 0; c < num_columns(); ++c) {
-    const size_t anchor_len = CommonPrefixLen(page, c);
-    PutVarint(anchor_len, &blob);
-    if (n > 0) blob.append(page.rows[0][c].data(), anchor_len);
+    const ColumnPlan plan(span, c);
+    PutVarint(plan.anchor_len, &blob);
+    if (n > 0) blob.append(span.field(0, c).data(), plan.anchor_len);
 
-    // Count post-anchor remainders; values occurring >= 2 times go to the
-    // local dictionary. std::map gives deterministic entry order.
-    std::map<std::string_view, uint32_t> counts;
-    for (size_t i = 0; i < n; ++i) {
-      std::string_view rem =
-          std::string_view(page.rows[i][c]).substr(anchor_len);
-      ++counts[rem];
-    }
-    std::vector<std::string_view> dict;
-    std::map<std::string_view, uint32_t> dict_id;
-    for (const auto& [rem, cnt] : counts) {
-      if (cnt >= 2) {
-        dict_id[rem] = static_cast<uint32_t>(dict.size());
-        dict.push_back(rem);
-      }
-    }
-    PutVarint(dict.size(), &blob);
-    for (std::string_view rem : dict) NsCompressField(rem, &blob);
+    PutVarint(plan.dict.size(), &blob);
+    for (const FieldView rem : plan.dict) NsCompressField(rem, &blob);
 
     for (size_t i = 0; i < n; ++i) {
-      std::string_view rem =
-          std::string_view(page.rows[i][c]).substr(anchor_len);
-      auto it = dict_id.find(rem);
-      if (it == dict_id.end()) {
-        PutVarint(0, &blob);
-        NsCompressField(rem, &blob);
-      } else {
-        PutVarint(it->second + 1, &blob);
-      }
+      const FieldView rem = span.field(i, c).substr(plan.anchor_len);
+      const uint32_t code = plan.code.find(rem)->second;
+      PutVarint(code, &blob);
+      if (code == 0) NsCompressField(rem, &blob);
     }
   }
   return blob;
+}
+
+uint64_t PageCodec::MeasurePage(const FlatSpan& span) const {
+  ValidateSpan(span);
+  const size_t n = span.num_rows();
+  uint64_t total = VarintSize(n);
+  for (size_t c = 0; c < num_columns(); ++c) {
+    const ColumnPlan plan(span, c);
+    total += VarintSize(plan.anchor_len) + plan.anchor_len;
+    total += VarintSize(plan.dict.size());
+    for (const FieldView rem : plan.dict) total += NsFieldSize(rem);
+
+    for (size_t i = 0; i < n; ++i) {
+      const FieldView rem = span.field(i, c).substr(plan.anchor_len);
+      const uint32_t code = plan.code.find(rem)->second;
+      total += VarintSize(code);
+      if (code == 0) total += NsFieldSize(rem);
+    }
+  }
+  return total;
 }
 
 EncodedPage PageCodec::DecompressPage(std::string_view blob) const {
   size_t offset = 0;
   const uint64_t n = GetVarint(blob, &offset);
   EncodedPage page;
-  page.rows.assign(n, std::vector<std::string>(num_columns()));
+  page.rows.resize(n);
+  for (auto& row : page.rows) row.resize(num_columns());
+  std::vector<std::string> dict;  // reused across columns
   for (size_t c = 0; c < num_columns(); ++c) {
     const uint64_t anchor_len = GetVarint(blob, &offset);
     CAPD_CHECK_LE(offset + anchor_len, blob.size());
-    const std::string anchor(blob.substr(offset, anchor_len));
+    const std::string_view anchor = blob.substr(offset, anchor_len);
     offset += anchor_len;
     const uint32_t rem_width = widths_[c] - static_cast<uint32_t>(anchor_len);
 
     const uint64_t dict_count = GetVarint(blob, &offset);
-    std::vector<std::string> dict;
+    dict.clear();
     dict.reserve(dict_count);
     for (uint64_t d = 0; d < dict_count; ++d) {
       std::string rem;
+      rem.reserve(rem_width);
       NsDecompressField(blob, &offset, rem_width, &rem);
       dict.push_back(std::move(rem));
     }
 
     for (uint64_t i = 0; i < n; ++i) {
       const uint64_t code = GetVarint(blob, &offset);
-      std::string field = anchor;
+      std::string& field = page.rows[i][c];
+      field.reserve(widths_[c]);
+      field.assign(anchor);
       if (code == 0) {
         NsDecompressField(blob, &offset, rem_width, &field);
       } else {
         CAPD_CHECK_LE(code, dict.size());
         field.append(dict[code - 1]);
       }
-      page.rows[i][c] = std::move(field);
     }
   }
   return page;

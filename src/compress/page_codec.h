@@ -4,6 +4,8 @@
 // (3) null-suppresses whatever is stored literally. Order dependent: how
 // many duplicates land in the same page depends on tuple order, which is
 // exactly the fragmentation effect the paper's ORD-DEP deduction models.
+// The dictionary is probed with interned slices (string_views into the flat
+// arena) — neither counting nor sizing copies a single field.
 #ifndef CAPD_COMPRESS_PAGE_CODEC_H_
 #define CAPD_COMPRESS_PAGE_CODEC_H_
 
@@ -18,8 +20,10 @@ class PageCodec : public Codec {
  public:
   explicit PageCodec(std::vector<uint32_t> widths) : Codec(std::move(widths)) {}
 
+  using Codec::CompressPage;
   CompressionKind kind() const override { return CompressionKind::kPage; }
-  std::string CompressPage(const EncodedPage& page) const override;
+  std::string CompressPage(const FlatSpan& span) const override;
+  uint64_t MeasurePage(const FlatSpan& span) const override;
   EncodedPage DecompressPage(std::string_view blob) const override;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "compress/codec_factory.h"
+#include "compress/flat_page.h"
 #include "storage/encoding.h"
 
 namespace capd {
@@ -114,8 +115,13 @@ PackResult PackPages(const std::vector<Row>& rows, const Schema& schema,
   uint64_t payload = 0;
   size_t begin = 0;
   const size_t n = rows.size();
+  // Zero-copy packing: render every field once into one flat columnar
+  // arena, then drive the probe loop through the size-only codec kernels.
+  // Each exponential/binary-search probe is a measurement over an O(1)
+  // span slice — no EncodedPage, no blob, no per-field strings.
+  const FlatPage flat = FlatPage::FromRows(rows, schema, 0, n);
   auto blob_size = [&](size_t b, size_t e) {
-    return codec.CompressPage(EncodeRows(rows, schema, b, e)).size();
+    return static_cast<size_t>(codec.MeasurePage(flat.span(b, e)));
   };
   while (begin < n) {
     // Exponential probe for an upper bound on rows that fit.

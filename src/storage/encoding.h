@@ -34,8 +34,12 @@ Value DecodeField(std::string_view data, const Column& col);
 std::string EncodeRow(const Row& row, const Schema& schema);
 Row DecodeRow(std::string_view data, const Schema& schema);
 
-// An EncodedPage is the unit the compression codecs operate on: a batch of
-// rows with each field already rendered to its fixed width.
+// Legacy row-major page representation: a batch of rows with each field
+// rendered to its fixed width as its own std::string. Still produced by
+// DecompressPage (and by EncodeRows for tests/benches); the codecs'
+// compression and measurement hot paths run on the flat columnar
+// FlatPage/FlatSpan in src/compress/flat_page.h instead, which renders a
+// whole page into one arena.
 struct EncodedPage {
   // rows[i][c] is the encoded bytes of column c of row i (width widths[c]).
   std::vector<std::vector<std::string>> rows;

@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "compress/codec_factory.h"
+#include "compress/flat_page.h"
 #include "compress/global_dict_codec.h"
 #include "compress/null_suppression.h"
 #include "compress/page_codec.h"
@@ -85,6 +86,19 @@ TEST_P(CodecRoundTrip, RandomPages) {
     const std::string blob = codec->CompressPage(page);
     const EncodedPage back = codec->DecompressPage(blob);
     EXPECT_TRUE(PagesEqual(page, back)) << CompressionKindName(GetParam());
+  }
+}
+
+TEST_P(CodecRoundTrip, MeasureMatchesCompressedSize) {
+  Random rng(41);
+  const Schema schema = TwoColSchema();
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Row> rows =
+        MakeRows(1 + static_cast<int>(rng.Next(150)), 5, &rng);
+    std::unique_ptr<Codec> codec = MakeCodec(GetParam(), schema, rows);
+    const FlatPage page = FlatPage::FromRows(rows, schema, 0, rows.size());
+    EXPECT_EQ(codec->MeasurePage(page), codec->CompressPage(page.span()).size())
+        << CompressionKindName(GetParam());
   }
 }
 

@@ -1,27 +1,17 @@
 // Tests for the blocked/generated Table path and the streaming sampler:
 // byte-identity of streaming vs materialized samples, blocked iteration vs
 // rows(), parallel materialization determinism, sampled stats on generated
-// tables, and — via a per-binary operator new/delete tracker — a hard
-// assertion that drawing a sample from a multi-million-row generated table
-// allocates O(sample), not O(table).
-#include <malloc.h>
-
-// GCC pairs the replaced operator new's malloc with the replaced delete's
-// free and flags the (correct) combination; the replacement pattern is
-// standard, so silence the false positive for this TU.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-
-#include <atomic>
-#include <cstdlib>
-#include <new>
+// tables, and — via the process-wide allocation tracker in
+// src/common/alloc_tracker.{h,cc} (activated for this binary by referencing
+// its accessors) — a hard assertion that drawing a sample from a
+// multi-million-row generated table allocates O(sample), not O(table).
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "catalog/database.h"
+#include "common/alloc_tracker.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "stats/column_stats.h"
@@ -29,54 +19,6 @@
 #include "storage/block.h"
 #include "storage/table.h"
 #include "workloads/scale.h"
-
-// ---------------------------------------------------------------------------
-// Live-allocation tracker. Each tests/*.cc is its own binary, so overriding
-// the global allocator here affects only this test. malloc_usable_size is
-// glibc (and sanitizer-runtime) provided.
-namespace {
-
-std::atomic<long long> g_live_bytes{0};
-std::atomic<long long> g_peak_bytes{0};
-
-void TrackAlloc(void* p) {
-  if (p == nullptr) return;
-  const long long now =
-      g_live_bytes.fetch_add(static_cast<long long>(malloc_usable_size(p))) +
-      static_cast<long long>(malloc_usable_size(p));
-  long long peak = g_peak_bytes.load();
-  while (now > peak && !g_peak_bytes.compare_exchange_weak(peak, now)) {
-  }
-}
-
-void TrackFree(void* p) {
-  if (p == nullptr) return;
-  g_live_bytes.fetch_sub(static_cast<long long>(malloc_usable_size(p)));
-}
-
-}  // namespace
-
-void* operator new(size_t size) {
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  TrackAlloc(p);
-  return p;
-}
-
-void* operator new[](size_t size) { return operator new(size); }
-
-void operator delete(void* p) noexcept {
-  TrackFree(p);
-  std::free(p);
-}
-
-void operator delete[](void* p) noexcept { operator delete(p); }
-
-void operator delete(void* p, size_t) noexcept { operator delete(p); }
-
-void operator delete[](void* p, size_t) noexcept { operator delete(p); }
-
-// ---------------------------------------------------------------------------
 
 namespace capd {
 namespace {
@@ -260,14 +202,13 @@ TEST(ScaleWorkloadTest, BigTableSampleAllocatesOSample) {
   // (8 Values/row at ~56 bytes each). The streaming sample path must stay
   // within a small fixed budget above the baseline: sample rows + one
   // scratch block + the sorted index vector.
-  const long long baseline = g_live_bytes.load();
-  g_peak_bytes.store(baseline);
+  const long long baseline = ResetPeakAllocBytes();
   Random rng(7);
   const double f =
       static_cast<double>(10000) / static_cast<double>(kBigRows);
   const std::unique_ptr<Table> sample =
       CreateUniformSample(events, f, /*min_rows=*/50, &rng);
-  const long long peak_delta = g_peak_bytes.load() - baseline;
+  const long long peak_delta = PeakAllocBytes() - baseline;
 
   EXPECT_EQ(sample->num_rows(), 10000u);
   constexpr long long kBudgetBytes = 64ll << 20;  // 64 MiB
