@@ -41,4 +41,12 @@ AdvisorOptions AdvisorOptions::DTAcBoth() {
   return o;
 }
 
+AdvisorOptions AdvisorOptions::DTAcBitmap() {
+  AdvisorOptions o = DTAcBoth();
+  o.compression_variants = {CompressionKind::kRow, CompressionKind::kPage,
+                            CompressionKind::kBitmap};
+  o.size_options.enable_sort_order_deduction = true;
+  return o;
+}
+
 }  // namespace capd

@@ -86,6 +86,12 @@ struct AdvisorOptions {
   // production paths; see src/service/fault_injector.h.
   std::function<void(const std::string& phase)> fault_hook;
 
+  // Leading-key distinct-count ceiling for BITMAP candidate variants:
+  // columns above it never get a bitmap candidate (per-value bitmaps would
+  // outnumber their payoff). Only consulted when compression_variants
+  // contains kBitmap.
+  uint64_t bitmap_max_leading_distinct = 64;
+
   bool enable_clustered = true;
   bool enable_partial = false;  // partial-index candidates
   bool enable_mv = false;       // MV + MV-index candidates
@@ -111,6 +117,10 @@ struct AdvisorOptions {
   static AdvisorOptions DTAcSkyline();  // + skyline selection
   static AdvisorOptions DTAcBacktrack();  // + backtracking enumeration
   static AdvisorOptions DTAcBoth();     // full implementation
+  // DTAcBoth + succinct BITMAP variants for low-distinct leading keys, with
+  // sort-order deduction on so sibling sort orders of one sampled leaf are
+  // derived instead of re-sampled.
+  static AdvisorOptions DTAcBitmap();
 };
 
 }  // namespace capd

@@ -161,8 +161,20 @@ void CandidateGenerator::AddVariants(const IndexDef& def,
   if (!options_->enable_compression) return;
   CAPD_CHECK(def.compression == CompressionKind::kNone);
   for (CompressionKind kind : options_->compression_variants) {
+    if (kind == CompressionKind::kBitmap && !BitmapEligible(def)) continue;
     out->push_back(def.WithCompression(kind));
   }
+}
+
+bool CandidateGenerator::BitmapEligible(const IndexDef& def) const {
+  // Per-distinct-value bitmaps only pay off when the leading key is
+  // low-cardinality; anything else explodes into one bitmap per value.
+  // MV objects carry no table stats, so they never get bitmap variants.
+  if (def.key_columns.empty()) return false;
+  if (!db_->HasTable(def.object)) return false;
+  const ColumnStats& cs =
+      db_->stats(def.object).column(def.key_columns.front());
+  return cs.distinct <= options_->bitmap_max_leading_distinct;
 }
 
 std::vector<IndexDef> CandidateGenerator::MergeCandidates(

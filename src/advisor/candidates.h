@@ -36,10 +36,12 @@ class CandidateGenerator {
   // leading key column; returns only new structures.
   std::vector<IndexDef> MergeCandidates(const std::vector<IndexDef>& selected);
 
-  // Appends the enabled compression variants of `def`.
+  // Appends the enabled compression variants of `def`. The kBitmap variant
+  // is gated by BitmapEligible (low-distinct leading key on a real table).
   void AddVariants(const IndexDef& def, std::vector<IndexDef>* out) const;
 
  private:
+  bool BitmapEligible(const IndexDef& def) const;
   void GenerateForTable(const SelectQuery& q, const std::string& table,
                         std::vector<IndexDef>* out) const;
   std::optional<MVDef> MVCandidate(const SelectQuery& q,

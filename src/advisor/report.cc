@@ -23,6 +23,8 @@ const char* CompressionClause(CompressionKind kind) {
       return "COLUMNSTORE_ARCHIVE";  // closest shipping analogue
     case CompressionKind::kRle:
       return "COLUMNSTORE";
+    case CompressionKind::kBitmap:
+      return "BITMAP";  // no shipping analogue; named for the report reader
   }
   return "NONE";
 }

@@ -4,6 +4,7 @@
 #include "compress/global_dict_codec.h"
 #include "compress/page_codec.h"
 #include "compress/rle_codec.h"
+#include "succinct/bitmap_codec.h"
 
 namespace capd {
 
@@ -20,6 +21,8 @@ std::unique_ptr<Codec> MakeCodec(CompressionKind kind, const Schema& schema,
       return GlobalDictCodec::Build(rows, schema);
     case CompressionKind::kRle:
       return std::make_unique<RleCodec>(ColumnWidths(schema));
+    case CompressionKind::kBitmap:
+      return std::make_unique<BitmapCodec>(ColumnWidths(schema));
   }
   CAPD_CHECK(false) << "unknown compression kind";
   return nullptr;

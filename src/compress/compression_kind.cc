@@ -14,6 +14,8 @@ const char* CompressionKindName(CompressionKind kind) {
       return "GLOBAL_DICT";
     case CompressionKind::kRle:
       return "RLE";
+    case CompressionKind::kBitmap:
+      return "BITMAP";
   }
   return "?";
 }
@@ -22,6 +24,7 @@ bool IsOrderDependent(CompressionKind kind) {
   switch (kind) {
     case CompressionKind::kPage:
     case CompressionKind::kRle:
+    case CompressionKind::kBitmap:
       return true;
     case CompressionKind::kNone:
     case CompressionKind::kRow:
@@ -35,7 +38,8 @@ const std::vector<CompressionKind>& AllCompressedKinds() {
   static const std::vector<CompressionKind>* kinds =
       new std::vector<CompressionKind>{
           CompressionKind::kRow, CompressionKind::kPage,
-          CompressionKind::kGlobalDict, CompressionKind::kRle};
+          CompressionKind::kGlobalDict, CompressionKind::kRle,
+          CompressionKind::kBitmap};
   return *kinds;
 }
 

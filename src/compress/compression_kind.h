@@ -16,6 +16,7 @@ enum class CompressionKind : uint8_t {
   kPage,        // NS + per-page column prefix + local dictionary; order-dependent
   kGlobalDict,  // one dictionary per column across the index; order-independent
   kRle,         // run-length encoding per column per page; order-dependent
+  kBitmap,      // succinct per-value WAH bitmaps + rank/select; order-dependent
 };
 
 const char* CompressionKindName(CompressionKind kind);

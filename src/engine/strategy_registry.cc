@@ -72,6 +72,12 @@ void RegisterBuiltins(StrategyRegistry* registry) {
       "dtac-both", std::make_shared<TuneStrategy>(
                        "full DTAc: skyline selection + backtracking",
                        &AdvisorOptions::DTAcBoth));
+  registry->Register(
+      "dtac-bitmap",
+      std::make_shared<TuneStrategy>(
+          "DTAc + succinct BITMAP variants (low-distinct leading keys) "
+          "with sort-order size deduction",
+          &AdvisorOptions::DTAcBitmap));
   registry->Register("staged:none", std::make_shared<StagedStrategy>(
                                         CompressionKind::kNone));
   registry->Register("staged:row", std::make_shared<StagedStrategy>(

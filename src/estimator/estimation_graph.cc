@@ -98,6 +98,28 @@ void EstimationGraph::GenerateDeductionsFor(size_t node_id) {
     }
   }
 
+  // --- SortOrder: same column set under a different key order, ORD-DEP
+  // only. The donor's sampled build leaves the materialized sample rows in
+  // the shared caches, so this node's exact-on-sample recompute costs no
+  // further sample I/O. Donor pairs are symmetric; the greedy ready-check
+  // (child must already be known) breaks the tie, so the first member of a
+  // sort-order clique always samples. ---
+  if (enable_sort_order_ && IsOrderDependent(def.compression)) {
+    const std::string colset_sig = def.ColumnSetSignature(base);
+    for (size_t j = 0; j < nodes_.size(); ++j) {
+      if (j == node_id) continue;
+      const IndexDef& other = nodes_[j].def;
+      if (other.compression != def.compression) continue;
+      if (other.ColumnSetSignature(base) != colset_sig) continue;
+      DeductionNode d;
+      d.type = DeductionType::kSortOrder;
+      d.parent = node_id;
+      d.children = {j};
+      deductions_.push_back(d);
+      deductions_by_parent_[node_id].push_back(deductions_.size() - 1);
+    }
+  }
+
   // --- ColExt: all-singletons partition. ---
   auto singleton_def = [&](const std::string& col) {
     IndexDef s;
@@ -163,6 +185,21 @@ void EstimationGraph::RefreshCosts(double f, ThreadPool* pool) {
   });
 }
 
+ErrorStats EstimationGraph::DeductionError(
+    const DeductionNode& d, size_t parent, double f,
+    std::vector<ErrorStats> child_terms) const {
+  if (d.type == DeductionType::kSortOrder) {
+    // Executed as a SampleCF recompute on the donor's sample: accuracy is
+    // exactly a sampled run's, independent of the donor's own error.
+    return model_.SampleCf(nodes_[parent].def.compression, f);
+  }
+  child_terms.push_back(d.type == DeductionType::kColSet
+                            ? model_.ColSet(nodes_[parent].def.compression)
+                            : model_.ColExt(nodes_[parent].def.compression,
+                                            static_cast<int>(d.children.size())));
+  return ComposeErrors(child_terms);
+}
+
 ErrorStats EstimationGraph::NodeError(size_t i, double f) const {
   const IndexNode& node = nodes_[i];
   if (node.is_existing) return ErrorStats{};  // exact
@@ -173,12 +210,10 @@ ErrorStats EstimationGraph::NodeError(size_t i, double f) const {
       CAPD_CHECK_GE(node.chosen_deduction, 0);
       const DeductionNode& d = deductions_[node.chosen_deduction];
       std::vector<ErrorStats> terms;
-      for (size_t c : d.children) terms.push_back(NodeError(c, f));
-      terms.push_back(d.type == DeductionType::kColSet
-                          ? model_.ColSet(node.def.compression)
-                          : model_.ColExt(node.def.compression,
-                                           static_cast<int>(d.children.size())));
-      return ComposeErrors(terms);
+      if (d.type != DeductionType::kSortOrder) {
+        for (size_t c : d.children) terms.push_back(NodeError(c, f));
+      }
+      return DeductionError(d, i, f, std::move(terms));
     }
     case NodeState::kNone:
       break;
@@ -287,11 +322,8 @@ double EstimationGraph::Greedy(double f, double e, double q,
           terms.push_back(NodeError(c, f));
         }
         if (!ready) continue;
-        terms.push_back(d.type == DeductionType::kColSet
-                            ? model_.ColSet(nodes_[t].def.compression)
-                            : model_.ColExt(nodes_[t].def.compression,
-                                             static_cast<int>(d.children.size())));
-        const double prob = ErrorWithinProbability(ComposeErrors(terms), e);
+        const double prob = ErrorWithinProbability(
+            DeductionError(d, t, f, std::move(terms)), e);
         if (prob >= q && prob > best_prob) {
           best_prob = prob;
           best_ded = static_cast<int>(di);
@@ -321,11 +353,8 @@ double EstimationGraph::Greedy(double f, double e, double q,
             terms.push_back(NodeError(c, f));
           }
         }
-        terms.push_back(d.type == DeductionType::kColSet
-                            ? model_.ColSet(nodes_[t].def.compression)
-                            : model_.ColExt(nodes_[t].def.compression,
-                                             static_cast<int>(d.children.size())));
-        const double prob = ErrorWithinProbability(ComposeErrors(terms), e);
+        const double prob = ErrorWithinProbability(
+            DeductionError(d, t, f, std::move(terms)), e);
         if (prob >= q && extra < best_enable_cost) {
           best_enable_cost = extra;
           best_enable = static_cast<int>(di);
@@ -422,11 +451,10 @@ void EstimationGraph::OptimalRecurse(const std::vector<size_t>& order,
                             : model_.SampleCf(nodes_[c].def.compression, f));
       }
       if (cyclic) continue;
-      terms.push_back(d.type == DeductionType::kColSet
-                          ? model_.ColSet(nodes_[i].def.compression)
-                          : model_.ColExt(nodes_[i].def.compression,
-                                           static_cast<int>(d.children.size())));
-      if (ErrorWithinProbability(ComposeErrors(terms), e) < q) continue;
+      if (ErrorWithinProbability(DeductionError(d, i, f, std::move(terms)), e) <
+          q) {
+        continue;
+      }
 
       nodes_[i].state = NodeState::kDeduced;
       nodes_[i].chosen_deduction = static_cast<int>(di);
@@ -591,6 +619,14 @@ std::map<std::string, SampleCfResult> EstimationGraph::Execute(
     }
     const std::string sig = node.def.Signature();
     const DeductionNode& d = deductions_[node.chosen_deduction];
+    if (d.type == DeductionType::kSortOrder) {
+      // Exact-on-sample recompute: the donor's build already materialized
+      // and cached the sample, so only this node's own pack runs — charged
+      // zero additional sampling I/O. Bit-for-bit equal to fresh sampling
+      // by construction (samples are seeded per cache key).
+      results[sig] = sampler_.EstimateSortOrderDeduced(node.def, f);
+      continue;
+    }
     SampleCfResult r;
     r.est_tuples = sampler_.EstimateFullTuples(node.def, f);
     r.est_uncompressed_bytes =
@@ -642,6 +678,18 @@ size_t EstimationGraph::NumDeduced() const {
   size_t n = 0;
   for (const IndexNode& node : nodes_) {
     if (node.is_target && node.state == NodeState::kDeduced) ++n;
+  }
+  return n;
+}
+
+size_t EstimationGraph::NumSortOrderDeduced() const {
+  size_t n = 0;
+  for (const IndexNode& node : nodes_) {
+    if (node.is_target && node.state == NodeState::kDeduced &&
+        node.chosen_deduction >= 0 &&
+        deductions_[node.chosen_deduction].type == DeductionType::kSortOrder) {
+      ++n;
+    }
   }
   return n;
 }

@@ -23,7 +23,13 @@ namespace capd {
 
 enum class NodeState { kNone, kDeduced, kSampled };
 
-enum class DeductionType { kColSet, kColExt };
+// kColSet: ORD-IND same-column-set transfer. kColExt: column partition
+// arithmetic. kSortOrder: ORD-DEP same-column-set, different-key-order
+// sibling — once any sort order of a structure has been sampled (sample rows
+// materialized + cached), every other order is recomputed exactly on that
+// same sample (cost 0 additional sample I/O, SampleCF-accurate by
+// construction) instead of being charged a fresh sampling pass.
+enum class DeductionType { kColSet, kColExt, kSortOrder };
 
 struct DeductionNode {
   DeductionType type = DeductionType::kColExt;
@@ -99,10 +105,17 @@ class EstimationGraph {
   // Composed error of node i under the current assignment.
   ErrorStats NodeError(size_t i, double f) const;
 
+  // Enables kSortOrder deduction candidates. Must be called before
+  // AddTargets (deductions are generated there). Off by default: the plan
+  // for pre-existing target batches stays byte-identical unless a caller
+  // opts in (SizeEstimationOptions::enable_sort_order_deduction).
+  void set_enable_sort_order(bool enabled) { enable_sort_order_ = enabled; }
+
   const std::vector<IndexNode>& nodes() const { return nodes_; }
   const std::vector<DeductionNode>& deductions() const { return deductions_; }
   size_t NumSampled() const;
   size_t NumDeduced() const;  // among targets
+  size_t NumSortOrderDeduced() const;  // among targets
 
   void ResetStates();
 
@@ -122,6 +135,11 @@ class EstimationGraph {
   size_t AddNode(const IndexDef& def, bool is_target);
   std::optional<size_t> FindNode(const std::string& signature) const;
   void GenerateDeductionsFor(size_t node_id);
+  // Composed error of deduction `d` for parent node `parent`, given the
+  // children's error terms. kSortOrder short-circuits to the parent's own
+  // SampleCf error (execution recomputes on the donor's sample).
+  ErrorStats DeductionError(const DeductionNode& d, size_t parent, double f,
+                            std::vector<ErrorStats> child_terms) const;
   void PruneUnused();
   double TotalSampledCost() const;
   void RefreshCosts(double f, ThreadPool* pool);
@@ -142,6 +160,7 @@ class EstimationGraph {
   ErrorModel model_;  // by value: callers often pass temporaries
   SampleCfEstimator sampler_;
   const std::atomic<bool>* cancel_ = nullptr;  // not owned; may be null
+  bool enable_sort_order_ = false;
 
   std::vector<IndexNode> nodes_;
   std::vector<DeductionNode> deductions_;

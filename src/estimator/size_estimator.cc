@@ -47,6 +47,8 @@ SizeEstimator::BatchResult SizeEstimator::EstimateAll(
   }
 
   EstimationGraph graph(*db_, source_, model_);
+  // Must precede AddTargets: deduction candidates are generated there.
+  graph.set_enable_sort_order(options_.enable_sort_order_deduction);
   graph.AddTargets(fresh);
   graph.set_cancel(options_.cancel.get());
   auto cancelled = [this] {

@@ -24,6 +24,11 @@ struct SizeEstimationOptions {
   // When false, every target is SampleCF'd (the "w/o deduction" baseline of
   // Figure 11; the shared SampleManager is still used).
   bool use_deduction = true;
+  // Opt-in kSortOrder deduction: sibling sort orders of an ORD-DEP
+  // structure (same column set, different key order) are recomputed on the
+  // first sibling's sample instead of each being charged a sampling pass.
+  // Off by default so pre-existing batch plans stay byte-identical.
+  bool enable_sort_order_deduction = false;
   // Worker threads for the batch-execution phase (independent SampleCF
   // runs). 1 = serial, 0 = hardware concurrency. Any value produces
   // byte-identical results: per-key sample seeding makes the parallel

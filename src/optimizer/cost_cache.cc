@@ -99,10 +99,14 @@ bool StatementCostCache::ComputeRelevant(size_t stmt_index,
       Contains(ts->join_keys, idx.key_columns.front())) {
     return true;
   }
-  // Seekable: a predicate on the leading key column.
+  // Seekable: a predicate on the leading key column (equality-only for
+  // BITMAP structures — mirrors IndexAccessCost's sargable-prefix gate).
   if (!idx.key_columns.empty()) {
+    const bool bitmap = idx.compression == CompressionKind::kBitmap;
     for (const ColumnFilter& p : ts->preds) {
-      if (p.column == idx.key_columns.front()) return true;
+      if (p.column != idx.key_columns.front()) continue;
+      if (bitmap && p.op != FilterOp::kEq) continue;
+      return true;
     }
   }
   // Covering: every column the statement uses on this table is stored.

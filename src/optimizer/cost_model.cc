@@ -14,6 +14,8 @@ double CostModelParams::Alpha(CompressionKind kind) const {
       return alpha_global_dict;
     case CompressionKind::kRle:
       return alpha_rle;
+    case CompressionKind::kBitmap:
+      return alpha_bitmap;
   }
   return 0.0;
 }
@@ -30,6 +32,8 @@ double CostModelParams::Beta(CompressionKind kind) const {
       return beta_global_dict;
     case CompressionKind::kRle:
       return beta_rle;
+    case CompressionKind::kBitmap:
+      return beta_bitmap;
   }
   return 0.0;
 }

@@ -28,6 +28,7 @@ struct CostModelParams {
   double alpha_page = 0.030;
   double alpha_global_dict = 0.020;
   double alpha_rle = 0.012;
+  double alpha_bitmap = 0.015;  // per-value bitmap maintenance on insert
 
   // Decompression CPU per tuple per used column (beta, by kind). SQL Server
   // decompresses only projected/predicated/aggregated columns (A.2).
@@ -35,6 +36,12 @@ struct CostModelParams {
   double beta_page = 0.0025;
   double beta_global_dict = 0.0010;
   double beta_rle = 0.0008;
+  double beta_bitmap = 0.0006;  // fill-run decode amortizes below NS
+
+  // Per-probe CPU of a bitmap equality selection: one WAH expansion plus a
+  // rank/select lookup per sargable equality predicate. Charged by the
+  // what-if seek path for BITMAP structures only.
+  double bitmap_probe_cpu = 0.02;
 
   // Scattered B-tree leaf maintenance on inserts: fraction of touched
   // leaves that miss the buffer pool and cost a random I/O. The paper's

@@ -140,17 +140,20 @@ std::optional<PlanCost> WhatIfOptimizer::IndexAccessCost(
     return s;
   };
 
-  // Fraction of index entries reached through the sargable key prefix.
+  // Fraction of index entries reached through the sargable key prefix. A
+  // BITMAP structure keys per-value bitmaps, so only equality predicates
+  // seek it — range predicates fall through to the covering-scan path.
+  const bool bitmap = idx.def.compression == CompressionKind::kBitmap;
   double prefix_frac = 1.0;
   size_t sargable = 0;
   for (const std::string& key_col : idx.def.key_columns) {
     bool found = false;
     for (const ColumnFilter& p : preds) {
-      if (p.column == key_col) {
-        prefix_frac *= sel_in_index(p);
-        found = true;
-        break;
-      }
+      if (p.column != key_col) continue;
+      if (bitmap && p.op != FilterOp::kEq) continue;
+      prefix_frac *= sel_in_index(p);
+      found = true;
+      break;
     }
     if (!found) break;
     ++sargable;
@@ -193,6 +196,10 @@ std::optional<PlanCost> WhatIfOptimizer::IndexAccessCost(
               params_.seq_page_io * std::max(1.0, pages * prefix_frac);
     seek.cpu = entries * (params_.cpu_per_tuple_read +
                           static_cast<double>(used_in_index) * beta);
+    if (bitmap) {
+      // One WAH expansion + rank/select AND per sargable equality key.
+      seek.cpu += params_.bitmap_probe_cpu * static_cast<double>(sargable);
+    }
     if (!covering) {
       const double lookups = tuples * std::min(1.0, stored_frac);
       seek.io += params_.random_page_io * lookups;

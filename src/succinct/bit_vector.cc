@@ -1,0 +1,124 @@
+#include "succinct/bit_vector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace capd {
+
+void BitVector::AppendBit(bool bit) {
+  CAPD_CHECK(!finished_) << "AppendBit after Finish";
+  const size_t word = bits_ / kBitsPerWord;
+  const size_t off = bits_ % kBitsPerWord;
+  if (word == words_.size()) words_.push_back(0);
+  if (bit) words_[word] |= uint64_t{1} << off;
+  ++bits_;
+}
+
+void BitVector::AppendRun(bool bit, uint64_t count) {
+  CAPD_CHECK(!finished_) << "AppendRun after Finish";
+  // Align to a word boundary bit-by-bit, then splat whole words.
+  while (count > 0 && bits_ % kBitsPerWord != 0) {
+    AppendBit(bit);
+    --count;
+  }
+  const uint64_t fill = bit ? ~uint64_t{0} : 0;
+  while (count >= kBitsPerWord) {
+    words_.push_back(fill);
+    bits_ += kBitsPerWord;
+    count -= kBitsPerWord;
+  }
+  while (count > 0) {
+    AppendBit(bit);
+    --count;
+  }
+}
+
+bool BitVector::Get(size_t i) const {
+  CAPD_CHECK_LT(i, bits_);
+  return (words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1;
+}
+
+void BitVector::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  // Mask stray bits in the tail word so popcounts below stay exact.
+  if (bits_ % kBitsPerWord != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (bits_ % kBitsPerWord)) - 1;
+  }
+  const size_t num_words = words_.size();
+  const size_t num_super =
+      (num_words + kWordsPerSuperblock - 1) / kWordsPerSuperblock;
+  super_.assign(num_super + 1, 0);
+  block_.assign(num_words, 0);
+  uint64_t total = 0;
+  for (size_t s = 0; s < num_super; ++s) {
+    super_[s] = total;
+    uint16_t within = 0;
+    const size_t end = std::min(num_words, (s + 1) * kWordsPerSuperblock);
+    for (size_t w = s * kWordsPerSuperblock; w < end; ++w) {
+      block_[w] = within;
+      const int ones = __builtin_popcountll(words_[w]);
+      within = static_cast<uint16_t>(within + ones);
+      total += static_cast<uint64_t>(ones);
+    }
+  }
+  super_[num_super] = total;
+}
+
+size_t BitVector::num_ones() const {
+  CAPD_CHECK(finished_) << "num_ones before Finish";
+  return static_cast<size_t>(super_.back());
+}
+
+size_t BitVector::Rank1(size_t i) const {
+  CAPD_CHECK(finished_) << "Rank1 before Finish";
+  CAPD_CHECK_LE(i, bits_);
+  if (i == 0) return 0;
+  const size_t word = i / kBitsPerWord;
+  const size_t off = i % kBitsPerWord;
+  size_t rank = static_cast<size_t>(super_[word / kWordsPerSuperblock]);
+  if (word < words_.size()) {
+    rank += block_[word];
+    if (off != 0) {
+      rank += static_cast<size_t>(
+          __builtin_popcountll(words_[word] & ((uint64_t{1} << off) - 1)));
+    }
+  } else {
+    // i == bits_ with a full tail word: count everything.
+    rank = num_ones();
+  }
+  return rank;
+}
+
+size_t BitVector::Select1(size_t k) const {
+  CAPD_CHECK(finished_) << "Select1 before Finish";
+  CAPD_CHECK_LT(k, num_ones());
+  // Superblock holding the (k+1)-th one: last s with super_[s] <= k.
+  const size_t s =
+      static_cast<size_t>(std::upper_bound(super_.begin(), super_.end() - 1,
+                                           static_cast<uint64_t>(k)) -
+                          super_.begin()) -
+      1;
+  size_t remaining = k - static_cast<size_t>(super_[s]);
+  const size_t word_end =
+      std::min(words_.size(), (s + 1) * kWordsPerSuperblock);
+  for (size_t w = s * kWordsPerSuperblock; w < word_end; ++w) {
+    const size_t ones = static_cast<size_t>(__builtin_popcountll(words_[w]));
+    if (remaining < ones) {
+      uint64_t bits = words_[w];
+      for (size_t j = 0; j < remaining; ++j) bits &= bits - 1;  // clear lowest
+      return w * kBitsPerWord +
+             static_cast<size_t>(__builtin_ctzll(bits));
+    }
+    remaining -= ones;
+  }
+  CAPD_CHECK(false) << "Select1 directory corrupt";
+  return 0;
+}
+
+size_t BitVector::DirectoryBytes() const {
+  return super_.size() * sizeof(uint64_t) + block_.size() * sizeof(uint16_t);
+}
+
+}  // namespace capd

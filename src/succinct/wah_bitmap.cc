@@ -1,0 +1,26 @@
+#include "succinct/wah_bitmap.h"
+
+namespace capd {
+
+void WahBitmap::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  logical_bits_ = encoder_.logical_bits();
+  encoder_.Finish();
+}
+
+BitVector WahBitmap::ToBitVector() const {
+  CAPD_CHECK(finished_) << "ToBitVector before Finish";
+  BitVector bv;
+  ForEachRun([&bv](bool bit, uint64_t count) { bv.AppendRun(bit, count); });
+  CAPD_CHECK_EQ(bv.size(), logical_bits_);
+  bv.Finish();
+  return bv;
+}
+
+WahBitmap WahBitmap::FromWords(const std::vector<uint32_t>& words,
+                               uint64_t logical_bits) {
+  return WahBitmap(words, logical_bits);
+}
+
+}  // namespace capd

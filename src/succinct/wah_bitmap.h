@@ -1,0 +1,210 @@
+// Word-aligned-hybrid (WAH-style) compressed bitmap over 32-bit words.
+//
+// Encoding (per 32-bit word, MSB first):
+//   0 b30..b0      literal: 31 payload bits, LSB = earliest bit
+//   1 f g29..g0    fill: g complete 31-bit groups of bit f (g >= 1)
+// A trailing partial group (< 31 bits) is always emitted as a literal whose
+// logical length is tracked in the header, never as a fill — so the encoded
+// word sequence is a pure function of the bit string (canonical form), which
+// is what lets BitmapCodec's MeasurePage == CompressPage contract hold
+// structurally: the measuring twin (WahSize) runs the exact same encoder with
+// a counting sink instead of a vector sink.
+//
+// On a column sorted by itself, each distinct value's bitmap is one 1-fill
+// surrounded by 0-fills: size collapses to O(1) words per distinct value
+// regardless of row count. That collapse is the sort-order x compression
+// interaction the fit bench (bench_future_rle_sortorder) sweeps.
+#ifndef CAPD_SUCCINCT_WAH_BITMAP_H_
+#define CAPD_SUCCINCT_WAH_BITMAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "succinct/bit_vector.h"
+
+namespace capd {
+
+namespace wah {
+constexpr uint32_t kPayloadBits = 31;
+constexpr uint32_t kFillFlag = 0x80000000u;
+constexpr uint32_t kFillBit = 0x40000000u;
+constexpr uint32_t kMaxFillGroups = (1u << 30) - 1;
+constexpr uint32_t kAllOnesLiteral = 0x7fffffffu;
+}  // namespace wah
+
+// Shared encoder core. Sink needs: void Emit(uint32_t word).
+// Bits are appended as runs; the encoder buffers the current partial 31-bit
+// group and pending complete-group fills, flushing in canonical form.
+template <typename Sink>
+class WahEncoder {
+ public:
+  explicit WahEncoder(Sink* sink) : sink_(sink) {}
+
+  void AppendRun(bool bit, uint64_t count) {
+    logical_bits_ += count;
+    // Fill the current partial group first.
+    while (count > 0 && partial_bits_ != 0) {
+      AppendToPartial(bit);
+      --count;
+    }
+    // Whole groups go through the fill path.
+    const uint64_t groups = count / wah::kPayloadBits;
+    if (groups > 0) {
+      AddFillGroups(bit, groups);
+      count -= groups * wah::kPayloadBits;
+    }
+    while (count > 0) {
+      AppendToPartial(bit);
+      --count;
+    }
+  }
+
+  void AppendBit(bool bit) { AppendRun(bit, 1); }
+
+  // Flush pending state. The encoder must not be used afterwards.
+  void Finish() {
+    FlushFill();
+    if (partial_bits_ != 0) sink_->Emit(partial_);
+  }
+
+  uint64_t logical_bits() const { return logical_bits_; }
+
+ private:
+  void AppendToPartial(bool bit) {
+    if (bit) partial_ |= uint32_t{1} << partial_bits_;
+    ++partial_bits_;
+    if (partial_bits_ == wah::kPayloadBits) {
+      // A complete group: route through the fill merger if uniform, else
+      // flush any pending fill and emit the literal.
+      const uint32_t group = partial_;
+      partial_ = 0;
+      partial_bits_ = 0;
+      if (group == 0) {
+        AddFillGroups(false, 1);
+      } else if (group == wah::kAllOnesLiteral) {
+        AddFillGroups(true, 1);
+      } else {
+        FlushFill();
+        sink_->Emit(group);
+      }
+    }
+  }
+
+  void AddFillGroups(bool bit, uint64_t groups) {
+    CAPD_CHECK_EQ(partial_bits_, 0u);
+    if (fill_groups_ > 0 && fill_bit_ != bit) FlushFill();
+    fill_bit_ = bit;
+    while (groups > 0) {
+      const uint64_t room = wah::kMaxFillGroups - fill_groups_;
+      const uint64_t take = groups < room ? groups : room;
+      CAPD_CHECK_GT(take, 0u) << "WAH fill overflow: run exceeds "
+                              << wah::kMaxFillGroups << " groups";
+      fill_groups_ += take;
+      groups -= take;
+      if (fill_groups_ == wah::kMaxFillGroups && groups > 0) FlushFill();
+    }
+  }
+
+  void FlushFill() {
+    if (fill_groups_ == 0) return;
+    sink_->Emit(wah::kFillFlag | (fill_bit_ ? wah::kFillBit : 0u) |
+                static_cast<uint32_t>(fill_groups_));
+    fill_groups_ = 0;
+  }
+
+  Sink* sink_;
+  uint32_t partial_ = 0;
+  uint32_t partial_bits_ = 0;
+  bool fill_bit_ = false;
+  uint64_t fill_groups_ = 0;
+  uint64_t logical_bits_ = 0;
+};
+
+// Vector-backed WAH bitmap: build with AppendBit/AppendRun + Finish, then
+// iterate runs or expand to a rank/select BitVector.
+class WahBitmap {
+ public:
+  WahBitmap() : encoder_(&sink_) {}
+  // The encoder holds a pointer into this object; copying or moving would
+  // dangle it. Build in place (guaranteed elision covers FromWords).
+  WahBitmap(const WahBitmap&) = delete;
+  WahBitmap& operator=(const WahBitmap&) = delete;
+
+  void AppendBit(bool bit) { encoder_.AppendBit(bit); }
+  void AppendRun(bool bit, uint64_t count) { encoder_.AppendRun(bit, count); }
+  void Finish();
+
+  uint64_t logical_bits() const { return logical_bits_; }
+  const std::vector<uint32_t>& words() const { return sink_.words; }
+  size_t byte_size() const { return sink_.words.size() * sizeof(uint32_t); }
+
+  // Decode into (bit, count) runs in logical order.
+  template <typename Fn>
+  void ForEachRun(Fn&& fn) const {
+    uint64_t seen = 0;
+    for (uint32_t w : sink_.words) {
+      if (w & wah::kFillFlag) {
+        const bool bit = (w & wah::kFillBit) != 0;
+        const uint64_t n =
+            static_cast<uint64_t>(w & wah::kMaxFillGroups) * wah::kPayloadBits;
+        fn(bit, n);
+        seen += n;
+      } else {
+        const uint64_t n =
+            std::min<uint64_t>(wah::kPayloadBits, logical_bits_ - seen);
+        for (uint64_t i = 0; i < n; ++i) fn((w >> i) & 1, uint64_t{1});
+        seen += n;
+      }
+    }
+  }
+
+  // Expand into an uncompressed BitVector with rank/select directories.
+  BitVector ToBitVector() const;
+
+  // Rebuild from raw encoded words + logical length (the codec's decode
+  // path). The words must be canonical (as produced by WahEncoder).
+  static WahBitmap FromWords(const std::vector<uint32_t>& words,
+                             uint64_t logical_bits);
+
+ private:
+  struct VectorSink {
+    std::vector<uint32_t> words;
+    void Emit(uint32_t w) { words.push_back(w); }
+  };
+  WahBitmap(std::vector<uint32_t> words, uint64_t logical_bits)
+      : encoder_(&sink_), logical_bits_(logical_bits), finished_(true) {
+    sink_.words = std::move(words);
+  }
+  VectorSink sink_;
+  WahEncoder<VectorSink> encoder_;
+  uint64_t logical_bits_ = 0;
+  bool finished_ = false;
+};
+
+// Counting twin: same encoder, no storage. Used by BitmapCodec::MeasurePage.
+class WahSize {
+ public:
+  WahSize() : encoder_(&sink_) {}
+  void AppendBit(bool bit) { encoder_.AppendBit(bit); }
+  void AppendRun(bool bit, uint64_t count) { encoder_.AppendRun(bit, count); }
+  size_t FinishWordCount() {
+    encoder_.Finish();
+    return sink_.count;
+  }
+
+ private:
+  struct CountSink {
+    size_t count = 0;
+    void Emit(uint32_t) { ++count; }
+  };
+  CountSink sink_;
+  WahEncoder<CountSink> encoder_;
+};
+
+}  // namespace capd
+
+#endif  // CAPD_SUCCINCT_WAH_BITMAP_H_

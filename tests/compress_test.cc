@@ -225,13 +225,14 @@ TEST(CompressionKindTest, OrderDependenceTaxonomy) {
   EXPECT_FALSE(IsOrderDependent(CompressionKind::kGlobalDict));
   EXPECT_TRUE(IsOrderDependent(CompressionKind::kPage));
   EXPECT_TRUE(IsOrderDependent(CompressionKind::kRle));
+  EXPECT_TRUE(IsOrderDependent(CompressionKind::kBitmap));
 }
 
 TEST(CompressionKindTest, AllCompressedKindsExcludesNone) {
   for (CompressionKind k : AllCompressedKinds()) {
     EXPECT_NE(k, CompressionKind::kNone);
   }
-  EXPECT_EQ(AllCompressedKinds().size(), 4u);
+  EXPECT_EQ(AllCompressedKinds().size(), 5u);
 }
 
 }  // namespace

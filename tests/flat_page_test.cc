@@ -229,7 +229,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllKinds, MeasureEqualsCompress,
     ::testing::Values(CompressionKind::kNone, CompressionKind::kRow,
                       CompressionKind::kPage, CompressionKind::kGlobalDict,
-                      CompressionKind::kRle),
+                      CompressionKind::kRle, CompressionKind::kBitmap),
     [](const auto& info) {
       std::string n = CompressionKindName(info.param);
       n.erase(std::remove_if(n.begin(), n.end(),
